@@ -1,0 +1,168 @@
+// Command viasim inspects the simulated VIA providers: it dumps a
+// provider's cost model and network parameters, runs an ad-hoc ping-pong
+// with a packet-level event trace, and reports fabric counters — the
+// debugging companion to the vibe benchmark driver.
+//
+// Usage:
+//
+//	viasim -provider bvia -dump          # print the cost model
+//	viasim -provider clan -ping -size 1024
+//	viasim -provider bvia -ping -trace   # ping with event trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vibe/internal/provider"
+	"vibe/internal/sim"
+	"vibe/internal/table"
+	"vibe/internal/trace"
+	"vibe/internal/via"
+)
+
+func main() {
+	var (
+		prov    = flag.String("provider", "clan", "provider model: mvia, bvia, clan, firmvia, iba")
+		dump    = flag.Bool("dump", false, "dump the provider cost model")
+		ping    = flag.Bool("ping", false, "run a single ping-pong")
+		size    = flag.Int("size", 64, "ping message size")
+		doTrace = flag.Bool("trace", false, "print the event trace of the ping")
+	)
+	flag.Parse()
+
+	m, err := provider.ByNameExtended(*prov)
+	if err != nil {
+		fatal(err)
+	}
+	if !*dump && !*ping {
+		*dump = true
+	}
+	if *dump {
+		dumpModel(m)
+	}
+	if *ping {
+		runPing(m, *size, *doTrace)
+	}
+}
+
+func dumpModel(m *provider.Model) {
+	t := table.New(fmt.Sprintf("provider %q cost model", m.Name), "parameter", "value")
+	t.AddRow("network", m.Network.Name)
+	t.AddRow("bandwidth (Gb/s)", m.Network.BandwidthBps/1e9)
+	t.AddRow("link latency", m.Network.LinkLatency.String())
+	t.AddRow("switch latency", m.Network.SwitchLatency.String())
+	t.AddRow("wire MTU (bytes)", m.WireMTU)
+	t.AddRow("max transfer (bytes)", m.MaxTransferSize)
+	t.AddRow("max segments", m.MaxSegments)
+	t.AddRow("translation at", m.TranslationAt.String())
+	t.AddRow("tables in", m.TablesAt.String())
+	t.AddRow("TLB capacity", m.TLBCapacity)
+	t.AddRow("TLB policy", m.TLBPolicy.String())
+	t.AddRow("host copies", m.HostCopies)
+	t.AddRow("copy per byte", m.CopyPerByte.String())
+	t.AddRow("post send", m.PostSendCost.String())
+	t.AddRow("doorbell", m.DoorbellCost.String())
+	t.AddRow("NIC doorbell proc", m.DoorbellProc.String())
+	t.AddRow("NIC desc fetch", m.DescFetch.String())
+	t.AddRow("NIC per fragment", m.PerFragment.String())
+	t.AddRow("DMA per byte", m.DMAPerByte.String())
+	t.AddRow("xlate hit", m.XlateHit.String())
+	t.AddRow("xlate miss (host table)", m.XlateMissHostTable.String())
+	t.AddRow("xlate (NIC table)", m.XlateNICTable.String())
+	t.AddRow("poll sweep", m.PollSweep)
+	t.AddRow("poll per VI", m.PollPerVI.String())
+	t.AddRow("block wake", m.BlockWakeCost.String())
+	t.AddRow("VI create", m.ViCreate.String())
+	t.AddRow("conn request", m.ConnRequestCost.String())
+	t.AddRow("mem reg base/page", fmt.Sprintf("%v + %v/page", m.MemRegBase, m.MemRegPerPage))
+	t.AddRow("rdma write/read", fmt.Sprintf("%v/%v", m.SupportsRDMAWrite, m.SupportsRDMARead))
+	t.Render(os.Stdout)
+}
+
+func runPing(m *provider.Model, size int, doTrace bool) {
+	sys := via.NewSystem(m, 2, 1)
+	rec := &trace.Recorder{Limit: 10000}
+	if doTrace {
+		sys.Eng.SetTracer(rec)
+	}
+	tmo := 10 * sim.Second
+	var rtt sim.Duration
+
+	sys.Go(0, "ping", func(ctx *via.Ctx) {
+		nic := ctx.OpenNic()
+		vi, err := nic.CreateVi(ctx, via.ViAttributes{}, nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if err := vi.ConnectRequest(ctx, 1, "ping", tmo); err != nil {
+			fatal(err)
+		}
+		buf := ctx.Malloc(size)
+		h, err := nic.RegisterMem(ctx, buf)
+		if err != nil {
+			fatal(err)
+		}
+		buf.FillPattern(1)
+		t0 := ctx.Now()
+		if err := vi.PostRecv(ctx, via.SimpleRecv(buf, h, size)); err != nil {
+			fatal(err)
+		}
+		if err := vi.PostSend(ctx, via.SimpleSend(buf, h, size)); err != nil {
+			fatal(err)
+		}
+		if _, err := vi.SendWaitPoll(ctx); err != nil {
+			fatal(err)
+		}
+		if _, err := vi.RecvWaitPoll(ctx); err != nil {
+			fatal(err)
+		}
+		rtt = ctx.Now().Sub(t0)
+	})
+	sys.Go(1, "pong", func(ctx *via.Ctx) {
+		nic := ctx.OpenNic()
+		vi, err := nic.CreateVi(ctx, via.ViAttributes{}, nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		buf := ctx.Malloc(size)
+		h, err := nic.RegisterMem(ctx, buf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := vi.PostRecv(ctx, via.SimpleRecv(buf, h, size)); err != nil {
+			fatal(err)
+		}
+		req, err := nic.ConnectWait(ctx, "ping", tmo)
+		if err != nil {
+			fatal(err)
+		}
+		if err := req.Accept(ctx, vi); err != nil {
+			fatal(err)
+		}
+		if _, err := vi.RecvWaitPoll(ctx); err != nil {
+			fatal(err)
+		}
+		if err := vi.PostSend(ctx, via.SimpleSend(buf, h, size)); err != nil {
+			fatal(err)
+		}
+		if _, err := vi.SendWaitPoll(ctx); err != nil {
+			fatal(err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s %dB ping-pong: RTT %v (one-way %.2fus)\n", m.Name, size, rtt, rtt.Micros()/2)
+	fmt.Printf("fabric: %d packets sent, %d delivered, %d bytes\n",
+		sys.Net.Sent, sys.Net.Delivered, sys.Net.BytesSent)
+	if doTrace {
+		rec.Dump(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "viasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command vibe-report regenerates the paper's tables and figures (and the
+// suite's extensions and ablations) from the simulated VIA providers.
+//
+// Usage:
+//
+//	vibe-report                 # run every experiment
+//	vibe-report -exp F3         # run one experiment (T1, F1..F7, TCQ, X*, A*)
+//	vibe-report -list           # list experiment ids
+//	vibe-report -quick          # smaller sweeps (smoke test)
+//	vibe-report -csv            # emit CSV instead of charts
+//	vibe-report -chart          # draw ASCII charts for series groups
+//	vibe-report -json out.json  # also save machine-readable results
+//	vibe-report -compare base.json -tol 0.05   # diff against a saved set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"vibe/internal/bench"
+	"vibe/internal/core"
+	"vibe/internal/results"
+	"vibe/internal/table"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run (default: all)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "smaller sweeps")
+		csv     = flag.Bool("csv", false, "emit series groups as CSV")
+		chart   = flag.Bool("chart", false, "draw ASCII charts for series groups")
+		jsonOut = flag.String("json", "", "save results to this JSON file (the paper's results-repository format)")
+		compare = flag.String("compare", "", "diff results against this saved JSON baseline")
+		label   = flag.String("label", "", "label recorded in the JSON result set")
+		tol     = flag.Float64("tol", 0.02, "relative tolerance for -compare")
+	)
+	flag.Parse()
+
+	exps := core.Experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp != "" {
+		e, err := core.ExperimentByID(strings.ToUpper(*exp))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = []*core.Experiment{e}
+	}
+
+	set := &results.Set{Label: *label}
+	for _, e := range exps {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Printf("paper: %s\n\n", e.PaperClaim)
+		rep, err := e.Run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range rep.Tables {
+			t.Render(os.Stdout)
+			fmt.Println()
+		}
+		for _, g := range rep.Groups {
+			if *csv {
+				fmt.Printf("# %s\n", g.Title)
+				g.RenderCSV(os.Stdout)
+				fmt.Println()
+				continue
+			}
+			t := groupTable(g)
+			t.Render(os.Stdout)
+			fmt.Println()
+			if *chart {
+				c := table.NewChart(g.Title, g.Series[0].XLabel, g.Series[0].YLabel)
+				for _, s := range g.Series {
+					xs, ys := s.XY()
+					c.Add(s.Name, xs, ys)
+				}
+				c.Render(os.Stdout, 72, 16)
+				fmt.Println()
+			}
+		}
+		for _, n := range rep.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		fmt.Println()
+		set.Experiments = append(set.Experiments, results.FromReport(e.ID, rep))
+	}
+
+	if *jsonOut != "" {
+		if err := results.Save(*jsonOut, set); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("results saved to %s\n", *jsonOut)
+	}
+	if *compare != "" {
+		base, err := results.Load(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		diffs := results.Compare(base, set, *tol)
+		results.Render(os.Stdout, diffs, *tol)
+		if len(diffs) > 0 {
+			os.Exit(2)
+		}
+	}
+}
+
+// groupTable renders a series group as a wide table: the x column plus one
+// column per series, rows being the union of x values.
+func groupTable(g *bench.Group) *table.Table {
+	headers := []string{g.Series[0].XLabel}
+	for _, s := range g.Series {
+		headers = append(headers, s.Name)
+	}
+	t := table.New(g.Title+" ("+g.Series[0].YLabel+")", headers...)
+	xset := map[float64]bool{}
+	for _, s := range g.Series {
+		for _, p := range s.Points {
+			xset[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := []interface{}{x}
+		for _, s := range g.Series {
+			if y, ok := s.At(x); ok {
+				row = append(row, y)
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,210 @@
+// Command vibe runs individual VIBe micro-benchmarks against a simulated
+// VIA provider, mirroring how the paper's suite is driven.
+//
+// Usage examples:
+//
+//	vibe -provider clan -bench latency
+//	vibe -provider bvia -bench latency -reuse 0 -sizes 4,1024,28672
+//	vibe -provider bvia -bench bandwidth -vis 16
+//	vibe -provider mvia -bench latency -mode block -cq
+//	vibe -provider clan -bench clientserver -req 16
+//	vibe -provider mvia -bench nondata
+//	vibe -provider bvia -bench memreg
+//	vibe -provider clan -bench logp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vibe/internal/bench"
+	"vibe/internal/core"
+	"vibe/internal/logp"
+	"vibe/internal/mp"
+	"vibe/internal/provider"
+	"vibe/internal/table"
+	"vibe/internal/via"
+)
+
+func main() {
+	var (
+		prov     = flag.String("provider", "clan", "provider model: mvia, bvia, clan, firmvia, iba")
+		benchSel = flag.String("bench", "latency", "benchmark: latency, bandwidth, clientserver, nondata, memreg, memdereg, logp, mp, getput")
+		sizesArg = flag.String("sizes", "", "comma-separated message sizes (default: paper ladder)")
+		mode     = flag.String("mode", "poll", "completion mode: poll or block")
+		useCQ    = flag.Bool("cq", false, "check receive completions via a completion queue")
+		reuse    = flag.Int("reuse", -1, "buffer reuse percent 0..100 (-1 = base: one buffer)")
+		vis      = flag.Int("vis", 1, "number of open VIs")
+		segs     = flag.Int("segments", 1, "data segments per descriptor")
+		rdma     = flag.Bool("rdma", false, "use RDMA writes with immediate data")
+		notify   = flag.Bool("notify", false, "server handles receives via async handler")
+		window   = flag.Int("window", 0, "sender pipeline bound for bandwidth (0 = unbounded)")
+		rel      = flag.String("reliability", "unreliable", "unreliable, delivery, reception")
+		req      = flag.Int("req", 16, "request size for clientserver")
+		iters    = flag.Int("iters", 0, "override timed iterations")
+		csv      = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	m, err := provider.ByNameExtended(*prov)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig(m)
+	if *iters > 0 {
+		cfg.Iters = *iters
+	}
+
+	o := core.XferOpts{
+		RecvViaCQ: *useCQ,
+		ActiveVIs: *vis,
+		Segments:  *segs,
+		RDMA:      *rdma,
+		Notify:    *notify,
+		Window:    *window,
+	}
+	if *mode == "block" {
+		o.Mode = core.Blocking
+	}
+	if *reuse >= 0 {
+		o.VaryBuffers = true
+		o.ReusePct = *reuse
+	}
+	switch *rel {
+	case "unreliable":
+	case "delivery":
+		o.Reliability = via.ReliableDelivery
+	case "reception":
+		o.Reliability = via.ReliableReception
+	default:
+		fatal(fmt.Errorf("unknown reliability %q", *rel))
+	}
+
+	sizes := bench.SizeLadder()
+	if *sizesArg != "" {
+		sizes = nil
+		for _, s := range strings.Split(*sizesArg, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("bad size %q: %v", s, err))
+			}
+			sizes = append(sizes, n)
+		}
+	}
+
+	emit := func(t *table.Table) {
+		if *csv {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+
+	switch *benchSel {
+	case "latency":
+		lat, cpuU, err := core.LatencySweep(cfg, sizes, o)
+		if err != nil {
+			fatal(err)
+		}
+		t := table.New(fmt.Sprintf("%s latency (%s)", m.Name, o.Mode),
+			"size (bytes)", "latency (us)", "CPU (%)")
+		for i, p := range lat.Points {
+			t.AddRow(int(p.X), p.Y, cpuU.Points[i].Y)
+		}
+		emit(t)
+	case "bandwidth":
+		bw, cpuU, err := core.BandwidthSweep(cfg, sizes, o)
+		if err != nil {
+			fatal(err)
+		}
+		t := table.New(fmt.Sprintf("%s bandwidth (%s)", m.Name, o.Mode),
+			"size (bytes)", "bandwidth (MB/s)", "CPU (%)")
+		for i, p := range bw.Points {
+			t.AddRow(int(p.X), p.Y, cpuU.Points[i].Y)
+		}
+		emit(t)
+	case "clientserver":
+		s, err := core.ClientServer(cfg, *req, sizes)
+		if err != nil {
+			fatal(err)
+		}
+		t := table.New(fmt.Sprintf("%s client-server, %dB requests", m.Name, *req),
+			"reply size (bytes)", "transactions/s")
+		for _, p := range s.Points {
+			t.AddRow(int(p.X), p.Y)
+		}
+		emit(t)
+	case "nondata":
+		c, err := core.NonData(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		t := table.New(fmt.Sprintf("%s non-data transfer costs (us)", m.Name), "operation", "cost")
+		t.AddRow("create VI", c.CreateVi)
+		t.AddRow("destroy VI", c.DestroyVi)
+		t.AddRow("establish connection", c.EstablishConn)
+		t.AddRow("tear down connection", c.TeardownConn)
+		t.AddRow("create CQ", c.CreateCq)
+		t.AddRow("destroy CQ", c.DestroyCq)
+		emit(t)
+	case "memreg", "memdereg":
+		var s *bench.Series
+		var err error
+		if *benchSel == "memreg" {
+			s, err = core.MemRegister(cfg, core.RegLadder())
+		} else {
+			s, err = core.MemDeregister(cfg, core.RegLadder())
+		}
+		if err != nil {
+			fatal(err)
+		}
+		t := table.New(fmt.Sprintf("%s %s cost", m.Name, *benchSel), "buffer (bytes)", "cost (us)")
+		for _, p := range s.Points {
+			t.AddRow(int(p.X), p.Y)
+		}
+		emit(t)
+	case "mp":
+		s, err := core.MPLatency(cfg, sizes, mp.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		t := table.New(fmt.Sprintf("%s message-passing layer latency", m.Name),
+			"size (bytes)", "latency (us)")
+		for _, p := range s.Points {
+			t.AddRow(int(p.X), p.Y)
+		}
+		emit(t)
+	case "getput":
+		t := table.New(fmt.Sprintf("%s get/put layer latency", m.Name),
+			"size (bytes)", "put (us)", "get (us)")
+		for _, size := range sizes {
+			put, get, err := core.GPLatency(cfg, size)
+			if err != nil {
+				fatal(err)
+			}
+			t.AddRow(size, put, get)
+		}
+		emit(t)
+	case "logp":
+		ins, err := logp.Explain(m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s LogP parameters: %v\n", m.Name, ins.Params)
+		fmt.Printf("LogP-predicted small-message latency is constant, yet:\n")
+		fmt.Printf("  base 4B latency:            %8.2f us\n", ins.BaseLatencyUs)
+		fmt.Printf("  with 16 open VIs:           %8.2f us\n", ins.LatencyAt16VIs)
+		fmt.Printf("  with 0%% buffer reuse:       %8.2f us\n", ins.LatencyAt0Reuse)
+		fmt.Printf("This spread is what VIBe measures and LogP cannot (paper §1).\n")
+	default:
+		fatal(fmt.Errorf("unknown benchmark %q", *benchSel))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vibe:", err)
+	os.Exit(1)
+}

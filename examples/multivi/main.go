@@ -1,0 +1,127 @@
+// Multi-VI scalability probe: the design question §3.2.4 answers for
+// programming-model implementors — "how many VIs should my layer open per
+// process?". A hub host opens a growing number of VI connections (as an
+// MPI or DSM layer would, one per peer) and measures how small-message
+// latency on the *first* VI degrades as more sit open, on Berkeley VIA
+// (firmware polls every VI) versus cLAN (hardware doorbells, insensitive).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vibe"
+)
+
+const (
+	msgSize = 64
+	rounds  = 40
+	maxVIs  = 16
+	timeout = 20 * vibe.Second
+)
+
+func main() {
+	fmt.Printf("%-8s %8s %14s\n", "provider", "open VIs", "latency (us)")
+	for _, prov := range []string{"bvia", "clan"} {
+		for _, nvis := range []int{1, 4, 16} {
+			lat := measure(prov, nvis)
+			fmt.Printf("%-8s %8d %14.1f\n", prov, nvis, lat)
+		}
+	}
+	fmt.Println("\nBerkeley VIA degrades with open VIs (firmware poll sweep);")
+	fmt.Println("cLAN does not — the paper's guidance for choosing VI fan-out.")
+}
+
+// measure opens nvis connected VIs on a hub and ping-pongs on the first.
+func measure(prov string, nvis int) float64 {
+	sys, err := vibe.NewCluster(prov, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var latency float64
+
+	sys.Go(0, "hub", func(ctx *vibe.Ctx) {
+		nic := ctx.OpenNic()
+		var vis []*vibe.Vi
+		for k := 0; k < nvis; k++ {
+			vi, err := nic.CreateVi(ctx, vibe.ViAttributes{}, nil, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := vi.ConnectRequest(ctx, 1, fmt.Sprintf("peer-%d", k), timeout); err != nil {
+				log.Fatal(err)
+			}
+			vis = append(vis, vi)
+		}
+		vi := vis[0]
+		buf := ctx.Malloc(msgSize)
+		h, err := nic.RegisterMem(ctx, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := ctx.Now()
+		for i := 0; i < rounds; i++ {
+			if err := vi.PostRecv(ctx, vibe.SimpleRecv(buf, h, msgSize)); err != nil {
+				log.Fatal(err)
+			}
+			if err := vi.PostSend(ctx, vibe.SimpleSend(buf, h, msgSize)); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := vi.SendWaitPoll(ctx); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := vi.RecvWaitPoll(ctx); err != nil {
+				log.Fatal(err)
+			}
+		}
+		latency = ctx.Now().Sub(start).Micros() / float64(rounds) / 2
+	})
+
+	sys.Go(1, "peers", func(ctx *vibe.Ctx) {
+		nic := ctx.OpenNic()
+		var first *vibe.Vi
+		buf := ctx.Malloc(msgSize)
+		h, err := nic.RegisterMem(ctx, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k := 0; k < nvis; k++ {
+			vi, err := nic.CreateVi(ctx, vibe.ViAttributes{}, nil, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if k == 0 {
+				first = vi
+				if err := vi.PostRecv(ctx, vibe.SimpleRecv(buf, h, msgSize)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			req, err := nic.ConnectWait(ctx, fmt.Sprintf("peer-%d", k), timeout)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := req.Accept(ctx, vi); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for i := 0; i < rounds; i++ {
+			if _, err := first.RecvWaitPoll(ctx); err != nil {
+				log.Fatal(err)
+			}
+			if i+1 < rounds {
+				if err := first.PostRecv(ctx, vibe.SimpleRecv(buf, h, msgSize)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := first.PostSend(ctx, vibe.SimpleSend(buf, h, msgSize)); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := first.SendWaitPoll(ctx); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+
+	sys.MustRun()
+	return latency
+}

@@ -1,0 +1,121 @@
+// Quickstart: bring up a two-host simulated cLAN cluster, connect a VI
+// pair, exchange a message, and time a short ping-pong — the "hello
+// world" of the VIA API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vibe"
+)
+
+const (
+	msgSize = 1024
+	rounds  = 100
+	timeout = 10 * vibe.Second
+)
+
+func main() {
+	sys, err := vibe.NewCluster("clan", 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys.Go(0, "client", func(ctx *vibe.Ctx) {
+		nic := ctx.OpenNic()
+
+		// 1. Create a VI (a communication endpoint with send and receive
+		//    work queues).
+		vi, err := nic.CreateVi(ctx, vibe.ViAttributes{}, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 2. Connect to the server's discriminator on host 1.
+		if err := vi.ConnectRequest(ctx, 1, "hello", timeout); err != nil {
+			log.Fatal(err)
+		}
+
+		// 3. Register memory. All VIA transfers move between registered
+		//    regions; the handle proves the right to use them.
+		buf := ctx.Malloc(msgSize)
+		h, err := nic.RegisterMem(ctx, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf.FillPattern(7)
+
+		// 4. Ping-pong: pre-post the receive, post the send, poll both
+		//    completions.
+		start := ctx.Now()
+		for i := 0; i < rounds; i++ {
+			if err := vi.PostRecv(ctx, vibe.SimpleRecv(buf, h, msgSize)); err != nil {
+				log.Fatal(err)
+			}
+			if err := vi.PostSend(ctx, vibe.SimpleSend(buf, h, msgSize)); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := vi.SendWaitPoll(ctx); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := vi.RecvWaitPoll(ctx); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rtt := ctx.Now().Sub(start).Micros() / rounds
+		fmt.Printf("quickstart: %d x %dB ping-pong on %q: %.2fus RTT (%.2fus one-way)\n",
+			rounds, msgSize, "clan", rtt, rtt/2)
+
+		// 5. Tear down.
+		if err := vi.Disconnect(ctx); err != nil {
+			log.Fatal(err)
+		}
+		if err := vi.Destroy(ctx); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	sys.Go(1, "server", func(ctx *vibe.Ctx) {
+		nic := ctx.OpenNic()
+		vi, err := nic.CreateVi(ctx, vibe.ViAttributes{}, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf := ctx.Malloc(msgSize)
+		h, err := nic.RegisterMem(ctx, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Pre-post the first receive before accepting, so no message can
+		// arrive descriptor-less.
+		if err := vi.PostRecv(ctx, vibe.SimpleRecv(buf, h, msgSize)); err != nil {
+			log.Fatal(err)
+		}
+		req, err := nic.ConnectWait(ctx, "hello", timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := req.Accept(ctx, vi); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < rounds; i++ {
+			if _, err := vi.RecvWaitPoll(ctx); err != nil {
+				return // client disconnected
+			}
+			if i+1 < rounds {
+				if err := vi.PostRecv(ctx, vibe.SimpleRecv(buf, h, msgSize)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := vi.PostSend(ctx, vibe.SimpleSend(buf, h, msgSize)); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := vi.SendWaitPoll(ctx); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+
+	sys.MustRun()
+}

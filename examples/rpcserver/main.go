@@ -1,0 +1,222 @@
+// RPC server: the cluster workload that motivates the paper's
+// client-server micro-benchmark (§3.3.1). A server host exports a
+// key-value store over VIA; three client hosts issue synchronous
+// request/reply transactions over their own VI connections, and the
+// server multiplexes all of them through one completion queue.
+//
+// The wire protocol is a tiny binary format (encoding/binary) carried in
+// VIA send/receive messages: GET and PUT requests with string keys and
+// values.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"vibe"
+)
+
+const (
+	numClients  = 3
+	opsPerThem  = 50
+	maxMsg      = 4096
+	timeout     = 10 * vibe.Second
+	opPut       = 1
+	opGet       = 2
+	statusOK    = 0
+	statusMiss  = 1
+	serviceName = "kv"
+)
+
+// encodeReq builds [op:1][klen:2][vlen:2][key][value].
+func encodeReq(op byte, key, value string) []byte {
+	msg := make([]byte, 5+len(key)+len(value))
+	msg[0] = op
+	binary.LittleEndian.PutUint16(msg[1:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(msg[3:], uint16(len(value)))
+	copy(msg[5:], key)
+	copy(msg[5+len(key):], value)
+	return msg
+}
+
+func decodeReq(msg []byte) (op byte, key, value string) {
+	op = msg[0]
+	klen := int(binary.LittleEndian.Uint16(msg[1:]))
+	vlen := int(binary.LittleEndian.Uint16(msg[3:]))
+	key = string(msg[5 : 5+klen])
+	value = string(msg[5+klen : 5+klen+vlen])
+	return
+}
+
+func encodeReply(status byte, value string) []byte {
+	msg := make([]byte, 3+len(value))
+	msg[0] = status
+	binary.LittleEndian.PutUint16(msg[1:], uint16(len(value)))
+	copy(msg[3:], value)
+	return msg
+}
+
+func decodeReply(msg []byte) (status byte, value string) {
+	status = msg[0]
+	vlen := int(binary.LittleEndian.Uint16(msg[1:]))
+	return status, string(msg[3 : 3+vlen])
+}
+
+func main() {
+	sys, err := vibe.NewCluster("clan", numClients+1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- server on host 0 ---
+	sys.Go(0, "kv-server", func(ctx *vibe.Ctx) {
+		nic := ctx.OpenNic()
+		store := map[string]string{}
+
+		cq, err := nic.CreateCQ(ctx, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		type conn struct {
+			vi         *vibe.Vi
+			rbuf, sbuf *vibe.Buffer
+			rh, sh     vibe.MemHandle
+		}
+		conns := map[int]*conn{}
+
+		// Accept one connection per client; all receive work queues feed
+		// the single CQ, so one wait covers every client.
+		for i := 0; i < numClients; i++ {
+			vi, err := nic.CreateVi(ctx, vibe.ViAttributes{}, nil, cq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rbuf, sbuf := ctx.Malloc(maxMsg), ctx.Malloc(maxMsg)
+			rh, err := nic.RegisterMem(ctx, rbuf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sh, err := nic.RegisterMem(ctx, sbuf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := vi.PostRecv(ctx, vibe.SimpleRecv(rbuf, rh, maxMsg)); err != nil {
+				log.Fatal(err)
+			}
+			req, err := nic.ConnectWait(ctx, serviceName, timeout)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := req.Accept(ctx, vi); err != nil {
+				log.Fatal(err)
+			}
+			conns[vi.ID()] = &conn{vi: vi, rbuf: rbuf, rh: rh, sbuf: sbuf, sh: sh}
+		}
+
+		served := 0
+		for served < numClients*opsPerThem {
+			c, err := cq.WaitPoll(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cn := conns[c.Vi.ID()]
+			d, ok := cn.vi.RecvDone(ctx)
+			if !ok {
+				log.Fatal("CQ entry without completed receive")
+			}
+			op, key, value := decodeReq(cn.rbuf.Bytes()[:d.Length])
+
+			// Re-arm the receive before replying.
+			if err := cn.vi.PostRecv(ctx, vibe.SimpleRecv(cn.rbuf, cn.rh, maxMsg)); err != nil {
+				log.Fatal(err)
+			}
+
+			var reply []byte
+			switch op {
+			case opPut:
+				store[key] = value
+				reply = encodeReply(statusOK, "")
+			case opGet:
+				if v, ok := store[key]; ok {
+					reply = encodeReply(statusOK, v)
+				} else {
+					reply = encodeReply(statusMiss, "")
+				}
+			}
+			copy(cn.sbuf.Bytes(), reply)
+			if err := cn.vi.PostSend(ctx, &vibe.Descriptor{Op: vibe.OpSend, Segs: []vibe.DataSegment{{
+				Addr: cn.sbuf.Addr(), Handle: cn.sh, Length: len(reply)}}}); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := cn.vi.SendWaitPoll(ctx); err != nil {
+				log.Fatal(err)
+			}
+			served++
+		}
+		fmt.Printf("rpcserver: served %d transactions from %d clients via one CQ\n",
+			served, numClients)
+	})
+
+	// --- clients on hosts 1..numClients ---
+	for c := 1; c <= numClients; c++ {
+		c := c
+		sys.Go(c, fmt.Sprintf("client-%d", c), func(ctx *vibe.Ctx) {
+			nic := ctx.OpenNic()
+			vi, err := nic.CreateVi(ctx, vibe.ViAttributes{}, nil, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := vi.ConnectRequest(ctx, 0, serviceName, timeout); err != nil {
+				log.Fatal(err)
+			}
+			reqBuf, repBuf := ctx.Malloc(maxMsg), ctx.Malloc(maxMsg)
+			reqH, err := nic.RegisterMem(ctx, reqBuf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			repH, err := nic.RegisterMem(ctx, repBuf)
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			start := ctx.Now()
+			for i := 0; i < opsPerThem; i++ {
+				// Alternate PUT/GET; each GET reads the key the previous
+				// iteration wrote.
+				key := fmt.Sprintf("k%d-%d", c, i-i%2)
+				var msg []byte
+				if i%2 == 0 {
+					msg = encodeReq(opPut, key, fmt.Sprintf("value-%d-%d", c, i))
+				} else {
+					msg = encodeReq(opGet, key, "")
+				}
+				copy(reqBuf.Bytes(), msg)
+				if err := vi.PostRecv(ctx, vibe.SimpleRecv(repBuf, repH, maxMsg)); err != nil {
+					log.Fatal(err)
+				}
+				if err := vi.PostSend(ctx, &vibe.Descriptor{Op: vibe.OpSend, Segs: []vibe.DataSegment{{
+					Addr: reqBuf.Addr(), Handle: reqH, Length: len(msg)}}}); err != nil {
+					log.Fatal(err)
+				}
+				if _, err := vi.SendWaitPoll(ctx); err != nil {
+					log.Fatal(err)
+				}
+				d, err := vi.RecvWaitPoll(ctx)
+				if err != nil {
+					log.Fatal(err)
+				}
+				status, val := decodeReply(repBuf.Bytes()[:d.Length])
+				if i%2 == 1 && (status != statusOK || val == "") {
+					log.Fatalf("client %d: GET %q failed (status %d)", c, key, status)
+				}
+			}
+			elapsed := ctx.Now().Sub(start)
+			fmt.Printf("rpcserver: client %d: %d transactions, %.0f tx/s\n",
+				c, opsPerThem, float64(opsPerThem)/elapsed.Seconds())
+		})
+	}
+
+	sys.MustRun()
+}

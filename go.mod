@@ -1,0 +1,3 @@
+module vibe
+
+go 1.22

@@ -1,0 +1,144 @@
+// Package bench provides the sweep harness the VIBe suite reports with:
+// named (x, y) series, size ladders, and CSV export.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named curve, e.g. "bvia latency vs message size".
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// NewSeries returns an empty series.
+func NewSeries(name, xlabel, ylabel string) *Series {
+	return &Series{Name: name, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// XY splits the series into coordinate slices.
+func (s *Series) XY() (xs, ys []float64) {
+	for _, p := range s.Points {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	return
+}
+
+// At returns the y value at exactly x, and whether it exists.
+func (s *Series) At(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// MustAt is At, panicking when x is absent (calibration tests use exact
+// ladder points).
+func (s *Series) MustAt(x float64) float64 {
+	y, ok := s.At(x)
+	if !ok {
+		panic(fmt.Sprintf("bench: series %q has no point at x=%v", s.Name, x))
+	}
+	return y
+}
+
+// MaxY returns the largest y value, or 0 for an empty series.
+func (s *Series) MaxY() float64 {
+	max := 0.0
+	for i, p := range s.Points {
+		if i == 0 || p.Y > max {
+			max = p.Y
+		}
+	}
+	return max
+}
+
+// SizeLadder is the paper's message-size x-axis: powers of four from 4 B
+// plus the large sizes its figures label (12288, 20480, 28672).
+func SizeLadder() []int {
+	return []int{4, 16, 64, 256, 1024, 4096, 12288, 20480, 28672}
+}
+
+// SmallLadder is a shorter ladder for expensive sweeps.
+func SmallLadder() []int {
+	return []int{4, 64, 1024, 4096, 28672}
+}
+
+// Group is an ordered set of series sharing axes (one figure).
+type Group struct {
+	Title  string
+	Series []*Series
+}
+
+// NewGroup returns an empty group.
+func NewGroup(title string) *Group { return &Group{Title: title} }
+
+// Add appends series to the group and returns the group.
+func (g *Group) Add(ss ...*Series) *Group {
+	g.Series = append(g.Series, ss...)
+	return g
+}
+
+// Find returns the series with the given name, or nil.
+func (g *Group) Find(name string) *Series {
+	for _, s := range g.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the group as a wide CSV: one x column, one column per
+// series. X values are the union of all series' x values.
+func (g *Group) RenderCSV(w io.Writer) {
+	if len(g.Series) == 0 {
+		return
+	}
+	xset := map[float64]bool{}
+	for _, s := range g.Series {
+		for _, p := range s.Points {
+			xset[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	headers := []string{g.Series[0].XLabel}
+	for _, s := range g.Series {
+		headers = append(headers, s.Name)
+	}
+	fmt.Fprintln(w, strings.Join(headers, ","))
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range g.Series {
+			if y, ok := s.At(x); ok {
+				row = append(row, fmt.Sprintf("%g", y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}

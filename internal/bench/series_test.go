@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("lat", "size", "us")
+	s.Add(4, 10)
+	s.Add(64, 12)
+	xs, ys := s.XY()
+	if len(xs) != 2 || xs[1] != 64 || ys[0] != 10 {
+		t.Fatalf("XY = %v %v", xs, ys)
+	}
+	if y, ok := s.At(64); !ok || y != 12 {
+		t.Fatalf("At(64) = %v %v", y, ok)
+	}
+	if _, ok := s.At(5); ok {
+		t.Fatal("At missing x succeeded")
+	}
+	if s.MustAt(4) != 10 {
+		t.Fatal("MustAt")
+	}
+	if s.MaxY() != 12 {
+		t.Fatalf("MaxY = %v", s.MaxY())
+	}
+}
+
+func TestMustAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAt on missing x did not panic")
+		}
+	}()
+	NewSeries("s", "x", "y").MustAt(1)
+}
+
+func TestEmptySeriesMaxY(t *testing.T) {
+	if NewSeries("s", "x", "y").MaxY() != 0 {
+		t.Fatal("empty MaxY")
+	}
+}
+
+func TestLadders(t *testing.T) {
+	l := SizeLadder()
+	if l[0] != 4 || l[len(l)-1] != 28672 {
+		t.Fatalf("SizeLadder = %v", l)
+	}
+	for i := 1; i < len(l); i++ {
+		if l[i] <= l[i-1] {
+			t.Fatal("ladder not increasing")
+		}
+	}
+	small := SmallLadder()
+	if len(small) >= len(l) {
+		t.Fatal("SmallLadder not smaller")
+	}
+	// Every small-ladder point is on the full ladder.
+	on := map[int]bool{}
+	for _, x := range l {
+		on[x] = true
+	}
+	for _, x := range small {
+		if !on[x] {
+			t.Errorf("small ladder point %d missing from full ladder", x)
+		}
+	}
+}
+
+func TestGroup(t *testing.T) {
+	a := NewSeries("a", "x", "y")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b := NewSeries("b", "x", "y")
+	b.Add(2, 200)
+	b.Add(3, 300)
+	g := NewGroup("g").Add(a, b)
+	if g.Find("b") != b || g.Find("zz") != nil {
+		t.Fatal("Find")
+	}
+	var sb strings.Builder
+	g.RenderCSV(&sb)
+	got := sb.String()
+	want := "x,a,b\n1,10,\n2,20,200\n3,,300\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestEmptyGroupCSV(t *testing.T) {
+	var sb strings.Builder
+	NewGroup("e").RenderCSV(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("empty group rendered %q", sb.String())
+	}
+}

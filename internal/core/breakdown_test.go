@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"vibe/internal/provider"
+)
+
+func TestBreakdownMatchesMeasurement(t *testing.T) {
+	// The analytic decomposition must track the measured latency closely
+	// at the sizes where pipelining is simple (one fragment, or deep
+	// pipelines), and within a loose bound everywhere.
+	for _, m := range provider.All() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			for _, tc := range []struct {
+				size int
+				tol  float64
+			}{{4, 0.12}, {28672, 0.10}} {
+				an, me, re, err := ValidateBreakdown(quickCfg(m), tc.size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if re > tc.tol {
+					t.Errorf("size %d: analytic %.1f vs measured %.1f (%.0f%% > %.0f%%)",
+						tc.size, an, me, re*100, tc.tol*100)
+				}
+			}
+		})
+	}
+}
+
+func TestBreakdownIdentifiesBottlenecks(t *testing.T) {
+	// The paper's use case: the dominant component at 28KB must match
+	// each provider's known bottleneck.
+	dominant := func(m *provider.Model, size int) string {
+		b := AnalyzeLatency(m, size)
+		best, bestUs := "", -1.0
+		for _, c := range b.components() {
+			if c.Us > bestUs {
+				best, bestUs = c.Name, c.Us
+			}
+		}
+		return best
+	}
+	if got := dominant(provider.MVIA(), 28672); got != "host post (copies, doorbell)" {
+		t.Errorf("mvia 28KB bottleneck = %q, want the kernel copies", got)
+	}
+	if got := dominant(provider.CLAN(), 28672); got != "wire (critical path)" {
+		t.Errorf("clan 28KB bottleneck = %q, want the wire", got)
+	}
+	// BVIA's large-message budget is data movement (its DMA engines and
+	// firmware pace the pipeline, not the Myrinet wire).
+	if got := dominant(provider.BVIA(), 28672); got != "DMA (critical path)" {
+		t.Errorf("bvia 28KB bottleneck = %q, want DMA", got)
+	}
+}
+
+func TestBreakdownComponentsNonNegativeAndSum(t *testing.T) {
+	for _, m := range provider.All() {
+		for _, size := range []int{0, 4, 1500, 4096, 28672} {
+			b := AnalyzeLatency(m, size)
+			sum := 0.0
+			for _, c := range b.components() {
+				if c.Us < 0 {
+					t.Errorf("%s size %d: component %q negative (%.2f)", m.Name, size, c.Name, c.Us)
+				}
+				sum += c.Us
+			}
+			if diff := sum - b.TotalUs; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s size %d: components sum %.3f != total %.3f", m.Name, size, sum, b.TotalUs)
+			}
+		}
+	}
+}

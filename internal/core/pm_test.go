@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"vibe/internal/mp"
+	"vibe/internal/provider"
+	"vibe/internal/stream"
+)
+
+func TestMPLatencyTracksRawVIA(t *testing.T) {
+	cfg := quickCfg(provider.CLAN())
+	raw, _, err := LatencySweep(cfg, []int{1024}, XferOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpl, err := MPLatency(cfg, []int{1024}, mp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawUs, mpUs := raw.MustAt(1024), mpl.MustAt(1024)
+	if mpUs <= rawUs {
+		t.Errorf("mp layer (%.1f) cannot beat raw VIA (%.1f)", mpUs, rawUs)
+	}
+	if mpUs > rawUs+30 {
+		t.Errorf("mp eager overhead too large: raw %.1f vs mp %.1f", rawUs, mpUs)
+	}
+}
+
+func TestMPLatencyEagerVsRendezvous(t *testing.T) {
+	// On the copy-bound provider, rendezvous must beat eager for large
+	// messages — the crossover VIBe's copy costs predict.
+	cfg := quickCfg(provider.MVIA())
+	const size = 16 * 1024
+	small := mp.DefaultConfig()
+	small.EagerLimit = 4 * 1024 // forces rendezvous at 16KB
+	big := mp.DefaultConfig()
+	big.EagerLimit = 32 * 1024 // forces eager at 16KB
+	rdv, err := mpPingPong(cfg, size, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := mpPingPong(cfg, size, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdv >= eager {
+		t.Errorf("rendezvous (%.1f) should beat eager (%.1f) at 16KB on mvia", rdv, eager)
+	}
+}
+
+func TestGPLatencyPathDifference(t *testing.T) {
+	// BVIA's daemon-serviced get must cost far more than its one-sided
+	// put; on cLAN (hardware read) the two are comparable.
+	cfgB := quickCfg(provider.BVIA())
+	putB, getB, err := GPLatency(cfgB, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if getB < putB*2 {
+		t.Errorf("bvia serviced get (%.1f) should dwarf put (%.1f)", getB, putB)
+	}
+	cfgC := quickCfg(provider.CLAN())
+	putC, getC, err := GPLatency(cfgC, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if getC > putC*2 {
+		t.Errorf("clan hardware get (%.1f) should be near put (%.1f)", getC, putC)
+	}
+}
+
+func TestStreamThroughputBelowRaw(t *testing.T) {
+	cfg := quickCfg(provider.CLAN())
+	raw, _, err := BandwidthSweep(cfg, []int{28672}, XferOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput, err := StreamThroughput(cfg, 256<<10, stream.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tput <= 0 || tput >= raw.MustAt(28672) {
+		t.Errorf("stream throughput %.1f vs raw %.1f: byte semantics must cost something",
+			tput, raw.MustAt(28672))
+	}
+	// But not more than the two staging copies' worth (~100 MB/s each
+	// side bounds it near 50; allow generous slack below that).
+	if tput < 25 {
+		t.Errorf("stream throughput %.1f MB/s implausibly low", tput)
+	}
+}
+
+func TestStreamPingPongAboveRawLatency(t *testing.T) {
+	cfg := quickCfg(provider.CLAN())
+	raw, _, err := LatencySweep(cfg, []int{1024}, XferOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock, err := StreamPingPong(cfg, 1024, stream.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sock <= raw.MustAt(1024) {
+		t.Errorf("stream latency %.1f cannot beat raw %.1f", sock, raw.MustAt(1024))
+	}
+}
+
+func TestDSMLockContentionGrowsWithNodes(t *testing.T) {
+	cfg := quickCfg(provider.CLAN())
+	two, _, err := DSMLockContention(cfg, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, _, err := DSMLockContention(cfg, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two <= 0 || four <= two {
+		t.Errorf("contention should grow with nodes: 2=%.1f 4=%.1f", two, four)
+	}
+}
+
+func TestLossSweepDegradesGoodput(t *testing.T) {
+	cfg := quickCfg(provider.CLAN())
+	// 10%: high enough that the short quick-mode run sees drops at any
+	// seed (a 2% rate can draw zero losses over ~100 packets).
+	s, err := LossSweep(cfg, 4096, []float64{0, 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, lossy := s.MustAt(0), s.MustAt(10)
+	if lossy >= clean*0.9 {
+		t.Errorf("10%% loss should reduce goodput: %.1f -> %.1f", clean, lossy)
+	}
+	if lossy <= 0 {
+		t.Errorf("goodput collapsed to zero under loss")
+	}
+}
+
+func TestLossSweepDoesNotMutateSharedModel(t *testing.T) {
+	cfg := quickCfg(provider.CLAN())
+	if _, err := LossSweep(cfg, 4096, []float64{0.02}); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Model.Network.DropRate != 0 {
+		t.Fatalf("LossSweep mutated the caller's model: DropRate=%v", cfg.Model.Network.DropRate)
+	}
+}

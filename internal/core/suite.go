@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+
+	"vibe/internal/bench"
+	"vibe/internal/provider"
+	"vibe/internal/table"
+)
+
+// Report is the output of one experiment: tables and/or series groups,
+// plus notes comparing against the paper.
+type Report struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Tables     []*table.Table
+	Groups     []*bench.Group
+	Notes      []string
+}
+
+// Experiment regenerates one paper artifact (table or figure) or one
+// ablation.
+type Experiment struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Run        func(quick bool) (*Report, error)
+}
+
+// cfgFor builds the run configuration, shrinking the workload in quick
+// mode (tests and smoke runs).
+func cfgFor(m *provider.Model, quick bool) Config {
+	cfg := DefaultConfig(m)
+	if quick {
+		cfg.Iters = 20
+		cfg.Warmup = 5
+		cfg.BWMessages = 40
+		cfg.NonDataReps = 3
+	}
+	return cfg
+}
+
+func ladder(quick bool) []int {
+	if quick {
+		return bench.SmallLadder()
+	}
+	return bench.SizeLadder()
+}
+
+// Experiments returns the registry, in the paper's presentation order
+// followed by the §3.2.5 extensions and the ablations from DESIGN.md.
+func Experiments() []*Experiment {
+	return []*Experiment{
+		expT1(), expF1(), expF2(), expF3(), expF4(), expF5(), expF6(), expF7(),
+		expTCQ(),
+		expXSEG(), expXASY(), expXRDMA(), expXPIPE(), expXMTU(), expXREL(), expXLOSS(),
+		expPMMP(), expPMGP(), expPMEAGER(), expPMSOCK(), expPMDSM(),
+		expEXTPROV(),
+		expATLB(), expAXLAT(), expADOOR(), expAPOLL(),
+		expBREAK(),
+	}
+}
+
+// ExperimentByID returns the experiment with the given id.
+func ExperimentByID(id string) (*Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("vibe: unknown experiment %q", id)
+}
+
+func expT1() *Experiment {
+	return &Experiment{
+		ID:    "T1",
+		Title: "Table 1: non-data transfer micro-benchmarks (us)",
+		PaperClaim: "Connection establishment is extremely expensive on cLAN " +
+			"(2454us) and worst on M-VIA (6465us); CQ creation is most " +
+			"expensive on BVIA (206us); VI creation is cheapest on cLAN (3us).",
+		Run: func(quick bool) (*Report, error) {
+			t := table.New("Table 1 (reproduced)", "Operation", "M-VIA", "BVIA", "cLAN")
+			var costs []NonDataCosts
+			for _, m := range provider.All() {
+				c, err := NonData(cfgFor(m, quick))
+				if err != nil {
+					return nil, err
+				}
+				costs = append(costs, c)
+			}
+			row := func(name string, f func(NonDataCosts) float64) {
+				t.AddRow(name, f(costs[0]), f(costs[1]), f(costs[2]))
+			}
+			row("Creating VI", func(c NonDataCosts) float64 { return c.CreateVi })
+			row("Destroying VI", func(c NonDataCosts) float64 { return c.DestroyVi })
+			row("Establishing Connection", func(c NonDataCosts) float64 { return c.EstablishConn })
+			row("Tearing Down Connection", func(c NonDataCosts) float64 { return c.TeardownConn })
+			row("Creating CQ", func(c NonDataCosts) float64 { return c.CreateCq })
+			row("Destroying CQ", func(c NonDataCosts) float64 { return c.DestroyCq })
+			return &Report{Tables: []*table.Table{t}}, nil
+		},
+	}
+}
+
+func expF1() *Experiment {
+	return &Experiment{
+		ID:    "F1",
+		Title: "Figure 1: memory registration cost vs buffer length",
+		PaperClaim: "Registration is most expensive on BVIA for buffers up to " +
+			"~20KB (flat ~21us base); M-VIA is cheap for small buffers but grows " +
+			"steeply per page and crosses BVIA around 20KB; costs reach ~35us.",
+		Run: func(quick bool) (*Report, error) {
+			g := bench.NewGroup("memory registration cost")
+			for _, m := range provider.All() {
+				s, err := MemRegister(cfgFor(m, quick), RegLadder())
+				if err != nil {
+					return nil, err
+				}
+				g.Add(s)
+			}
+			return &Report{Groups: []*bench.Group{g}}, nil
+		},
+	}
+}
+
+func expF2() *Experiment {
+	return &Experiment{
+		ID:    "F2",
+		Title: "Figure 2: memory deregistration cost vs buffer length",
+		PaperClaim: "Deregistration is much cheaper than registration and " +
+			"essentially flat in region size (below ~16us even for 32MB); " +
+			"BVIA is the most expensive, M-VIA the cheapest.",
+		Run: func(quick bool) (*Report, error) {
+			sizes := append(RegLadder(), 1<<20, 32<<20)
+			g := bench.NewGroup("memory deregistration cost")
+			for _, m := range provider.All() {
+				s, err := MemDeregister(cfgFor(m, quick), sizes)
+				if err != nil {
+					return nil, err
+				}
+				g.Add(s)
+			}
+			return &Report{Groups: []*bench.Group{g}}, nil
+		},
+	}
+}
+
+func expF3() *Experiment {
+	return &Experiment{
+		ID:    "F3",
+		Title: "Figure 3: base latency and bandwidth with polling",
+		PaperClaim: "cLAN has the lowest latency; M-VIA beats BVIA for short " +
+			"messages but loses for long ones (extra kernel copies); cLAN has the " +
+			"best bandwidth over most sizes but BVIA wins for large messages.",
+		Run: func(quick bool) (*Report, error) {
+			lat := bench.NewGroup("base latency, polling (LATbase)")
+			bw := bench.NewGroup("base bandwidth, polling (BWbase)")
+			for _, m := range provider.All() {
+				cfg := cfgFor(m, quick)
+				l, _, err := LatencySweep(cfg, ladder(quick), XferOpts{})
+				if err != nil {
+					return nil, err
+				}
+				b, _, err := BandwidthSweep(cfg, ladder(quick), XferOpts{})
+				if err != nil {
+					return nil, err
+				}
+				lat.Add(l)
+				bw.Add(b)
+			}
+			return &Report{Groups: []*bench.Group{lat, bw},
+				Notes: []string{"CPU utilization with polling is 100% for all providers (not shown, as in the paper)."}}, nil
+		},
+	}
+}
+
+func expF4() *Experiment {
+	return &Experiment{
+		ID:    "F4",
+		Title: "Figure 4: base latency and CPU utilization with blocking",
+		PaperClaim: "Blocking latency is significantly higher than polling; CPU " +
+			"utilizations are comparable across implementations for most sizes, " +
+			"with M-VIA (kernel emulation) highest for small messages.",
+		Run: func(quick bool) (*Report, error) {
+			lat := bench.NewGroup("base latency, blocking (LATbase-block)")
+			cpuG := bench.NewGroup("CPU utilization, blocking (CPUbase-block)")
+			for _, m := range provider.All() {
+				cfg := cfgFor(m, quick)
+				l, c, err := LatencySweep(cfg, ladder(quick), XferOpts{Mode: Blocking})
+				if err != nil {
+					return nil, err
+				}
+				lat.Add(l)
+				cpuG.Add(c)
+			}
+			return &Report{Groups: []*bench.Group{lat, cpuG},
+				Notes: []string{"Bandwidth with blocking is similar to polling (not shown, as in the paper)."}}, nil
+		},
+	}
+}
+
+func expF5() *Experiment {
+	return &Experiment{
+		ID:    "F5",
+		Title: "Figure 5: latency and bandwidth vs % buffer reuse (BVIA)",
+		PaperClaim: "On BVIA (NIC translation, tables in host memory, small NIC " +
+			"cache), lowering buffer reuse raises latency and lowers bandwidth " +
+			"substantially, worst for large (multi-page) messages; M-VIA and cLAN " +
+			"are insensitive.",
+		Run: func(quick bool) (*Report, error) {
+			cfg := cfgFor(provider.BVIA(), quick)
+			pcts := []int{0, 25, 50, 75, 100}
+			if quick {
+				pcts = []int{0, 50, 100}
+			}
+			latG, err := ReuseSweep(cfg, ladder(quick), pcts, false)
+			if err != nil {
+				return nil, err
+			}
+			bwG, err := ReuseSweep(cfg, ladder(quick), pcts, true)
+			if err != nil {
+				return nil, err
+			}
+			notes := []string{}
+			for _, m := range []*provider.Model{provider.MVIA(), provider.CLAN()} {
+				c := cfgFor(m, quick)
+				g, err := ReuseSweep(c, []int{28672}, []int{0, 100}, false)
+				if err != nil {
+					return nil, err
+				}
+				notes = append(notes, fmt.Sprintf(
+					"%s @28KB: 0%% reuse %.1fus vs 100%% reuse %.1fus (insensitive, not plotted, as in the paper)",
+					m.Name, g.Series[0].Points[0].Y, g.Series[1].Points[0].Y))
+			}
+			return &Report{Groups: []*bench.Group{latG, bwG}, Notes: notes}, nil
+		},
+	}
+}
+
+func expF6() *Experiment {
+	return &Experiment{
+		ID:    "F6",
+		Title: "Figure 6: latency and bandwidth vs number of active VIs (BVIA)",
+		PaperClaim: "BVIA firmware polls all VIs' send structures, so latency " +
+			"rises and bandwidth falls significantly with the number of open VIs; " +
+			"M-VIA and cLAN are insensitive.",
+		Run: func(quick bool) (*Report, error) {
+			cfg := cfgFor(provider.BVIA(), quick)
+			vis := []int{1, 2, 4, 8, 16, 32}
+			if quick {
+				vis = []int{1, 4, 16}
+			}
+			latG, err := MultiViSweep(cfg, ladder(quick), vis, false)
+			if err != nil {
+				return nil, err
+			}
+			bwG, err := MultiViSweep(cfg, ladder(quick), vis, true)
+			if err != nil {
+				return nil, err
+			}
+			notes := []string{}
+			for _, m := range []*provider.Model{provider.MVIA(), provider.CLAN()} {
+				c := cfgFor(m, quick)
+				g, err := MultiViSweep(c, []int{4}, []int{1, 16}, false)
+				if err != nil {
+					return nil, err
+				}
+				notes = append(notes, fmt.Sprintf(
+					"%s @4B: 1 VI %.1fus vs 16 VIs %.1fus (insensitive, not plotted, as in the paper)",
+					m.Name, g.Series[0].Points[0].Y, g.Series[1].Points[0].Y))
+			}
+			return &Report{Groups: []*bench.Group{latG, bwG}, Notes: notes}, nil
+		},
+	}
+}
+
+func expF7() *Experiment {
+	return &Experiment{
+		ID:    "F7",
+		Title: "Figure 7: client-server transactions/sec (requests 16B and 256B)",
+		PaperClaim: "cLAN sustains the most transactions (~55K/s at 16B); M-VIA " +
+			"beats BVIA for short replies, BVIA wins for mid-size replies; for " +
+			"long replies the paper reports them converging.",
+		Run: func(quick bool) (*Report, error) {
+			g := bench.NewGroup("client-server transactions per second")
+			for _, m := range provider.All() {
+				cfg := cfgFor(m, quick)
+				for _, req := range []int{16, 256} {
+					s, err := ClientServer(cfg, req, ladder(quick))
+					if err != nil {
+						return nil, err
+					}
+					s.Name = fmt.Sprintf("%s %dB", m.Name, req)
+					g.Add(s)
+				}
+			}
+			return &Report{Groups: []*bench.Group{g}, Notes: []string{
+				"Deviation: at 28KB replies our M-VIA stays ~2.5x below BVIA " +
+					"(its kernel copies bound large transfers), where the paper " +
+					"reports them similar; all other orderings match. See EXPERIMENTS.md.",
+			}}, nil
+		},
+	}
+}
+
+func expTCQ() *Experiment {
+	return &Experiment{
+		ID:    "TCQ",
+		Title: "Section 4.3.3: completion queue overhead",
+		PaperClaim: "Checking receive completions through a CQ costs 2-5us on " +
+			"BVIA and is negligible on M-VIA and cLAN.",
+		Run: func(quick bool) (*Report, error) {
+			t := table.New("CQ overhead (LATcq - LATbase, us)", "Provider", "4B", "1KB", "28KB")
+			for _, m := range provider.All() {
+				cfg := cfgFor(m, quick)
+				_, _, d, err := CQOverhead(cfg, []int{4, 1024, 28672})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(m.Name, d.Points[0].Y, d.Points[1].Y, d.Points[2].Y)
+			}
+			return &Report{Tables: []*table.Table{t}}, nil
+		},
+	}
+}

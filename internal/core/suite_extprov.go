@@ -1,0 +1,78 @@
+package core
+
+import (
+	"vibe/internal/provider"
+	"vibe/internal/table"
+)
+
+// expEXTPROV runs the headline VIBe measurements across the extended
+// provider set — the paper's three systems plus the FirmVIA ([8]) and
+// InfiniBand (§5) approximations — demonstrating the suite doing what it
+// was built for: characterizing a *new* implementation against known
+// ones.
+func expEXTPROV() *Experiment {
+	return &Experiment{
+		ID:    "EXTPROV",
+		Title: "Extended providers: VIBe headline numbers for FirmVIA and IBA",
+		PaperClaim: "(the paper's reference [8] and §5 future work) FirmVIA's " +
+			"microcoded data path should land between Berkeley VIA and cLAN; a " +
+			"first-generation IBA adapter should beat all three on every " +
+			"headline number except connection setup.",
+		Run: func(quick bool) (*Report, error) {
+			t := table.New("VIBe headline numbers across five implementations",
+				"Provider", "4B lat (us)", "28KB lat (us)", "28KB BW (MB/s)",
+				"Conn est (us)", "CQ ovh (us)", "Reuse-sensitive", "VI-sensitive")
+			for _, m := range provider.Extended() {
+				cfg := cfgFor(m, quick)
+				lat, _, err := LatencySweep(cfg, []int{4, 28672}, XferOpts{})
+				if err != nil {
+					return nil, err
+				}
+				bw, _, err := BandwidthSweep(cfg, []int{28672}, XferOpts{})
+				if err != nil {
+					return nil, err
+				}
+				nd, err := NonData(cfg)
+				if err != nil {
+					return nil, err
+				}
+				_, _, cqd, err := CQOverhead(cfg, []int{4})
+				if err != nil {
+					return nil, err
+				}
+				base, err := Latency(cfg, 28672, XferOpts{})
+				if err != nil {
+					return nil, err
+				}
+				reuse, err := Latency(cfg, 28672, XferOpts{VaryBuffers: true, ReusePct: 0})
+				if err != nil {
+					return nil, err
+				}
+				multi, err := Latency(cfg, 4, XferOpts{ActiveVIs: 16})
+				if err != nil {
+					return nil, err
+				}
+				small, err := Latency(cfg, 4, XferOpts{})
+				if err != nil {
+					return nil, err
+				}
+				sensitive := func(delta float64) string {
+					if delta > 2 {
+						return "yes"
+					}
+					return "no"
+				}
+				t.AddRow(m.Name,
+					lat.MustAt(4), lat.MustAt(28672), bw.MustAt(28672),
+					nd.EstablishConn, cqd.MustAt(4),
+					sensitive(reuse.LatencyUs-base.LatencyUs),
+					sensitive(multi.LatencyUs-small.LatencyUs))
+			}
+			return &Report{Tables: []*table.Table{t}, Notes: []string{
+				"firmvia and iba are approximations from the cited papers' published " +
+					"numbers, not calibration targets; the paper's three providers are " +
+					"calibrated (see T1/F1-F7).",
+			}}, nil
+		},
+	}
+}

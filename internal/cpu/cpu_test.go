@@ -1,0 +1,131 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"vibe/internal/sim"
+)
+
+func TestUseAccountsBusyAndAdvancesTime(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	e.Spawn("p", func(p *sim.Proc) {
+		c.Use(p, 100)
+		if p.Now() != 100 {
+			t.Errorf("time = %v, want 100ns", p.Now())
+		}
+		c.Use(p, 0) // no-op
+	})
+	e.MustRun()
+	if c.Busy() != 100 {
+		t.Fatalf("busy = %v, want 100ns", c.Busy())
+	}
+}
+
+func TestSpinWaitIsBusy(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	s := sim.NewSignal(e)
+	e.Spawn("poller", func(p *sim.Proc) {
+		c.SpinWait(p, s)
+	})
+	e.Spawn("sig", func(p *sim.Proc) {
+		p.Sleep(500)
+		s.Broadcast()
+	})
+	e.MustRun()
+	if c.Busy() != 500 {
+		t.Fatalf("busy = %v, want 500ns", c.Busy())
+	}
+}
+
+func TestBlockWaitIsIdlePlusWakeCost(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	s := sim.NewSignal(e)
+	e.Spawn("blocker", func(p *sim.Proc) {
+		c.BlockWait(p, s, 30)
+	})
+	e.Spawn("sig", func(p *sim.Proc) {
+		p.Sleep(500)
+		s.Broadcast()
+	})
+	e.MustRun()
+	if c.Busy() != 30 {
+		t.Fatalf("busy = %v, want 30ns (wake cost only)", c.Busy())
+	}
+}
+
+func TestMeterUtilization(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	s := sim.NewSignal(e)
+	var spinU, blockU float64
+	e.Spawn("p", func(p *sim.Proc) {
+		m := c.StartMeter()
+		c.SpinWait(p, s) // whole interval busy
+		spinU = m.Utilization()
+
+		m2 := c.StartMeter()
+		c.BlockWait(p, s, 10) // mostly idle
+		blockU = m2.Utilization()
+		if m2.BusySince() != 10 {
+			t.Errorf("BusySince = %v", m2.BusySince())
+		}
+		if m2.Elapsed() != 1010 {
+			t.Errorf("Elapsed = %v", m2.Elapsed())
+		}
+	})
+	e.Spawn("sig", func(p *sim.Proc) {
+		p.Sleep(1000)
+		s.Broadcast()
+		p.Sleep(1000)
+		s.Broadcast()
+	})
+	e.MustRun()
+	if spinU != 1.0 {
+		t.Errorf("spin utilization = %v, want 1.0", spinU)
+	}
+	want := 10.0 / 1010.0
+	if math.Abs(blockU-want) > 1e-9 {
+		t.Errorf("block utilization = %v, want %v", blockU, want)
+	}
+}
+
+func TestTimeoutVariants(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	s := sim.NewSignal(e)
+	var spinOK, blockOK bool
+	e.Spawn("p", func(p *sim.Proc) {
+		spinOK = c.SpinWaitTimeout(p, s, 50)
+		blockOK = c.BlockWaitTimeout(p, s, 50, 5)
+	})
+	e.MustRun()
+	if spinOK || blockOK {
+		t.Errorf("timeouts should report false: spin=%v block=%v", spinOK, blockOK)
+	}
+	// 50 spin + 5 wake cost; the blocked 50ns are idle.
+	if c.Busy() != 55 {
+		t.Errorf("busy = %v, want 55ns", c.Busy())
+	}
+}
+
+func TestEmptyMeterUtilizationZero(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	m := c.StartMeter()
+	if u := m.Utilization(); u != 0 {
+		t.Fatalf("utilization of empty interval = %v", u)
+	}
+}
+
+func TestCharge(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	c.Charge(42)
+	if c.Busy() != 42 {
+		t.Fatalf("busy = %v", c.Busy())
+	}
+}

@@ -1,0 +1,158 @@
+// Package fabric models the interconnect of the simulated cluster: hosts
+// attached through full-duplex links to a central crossbar switch, with
+// per-link bandwidth serialization, propagation latency, a switch
+// forwarding delay, and optional loss injection.
+//
+// The fabric is deliberately protocol-agnostic: it moves opaque payloads of
+// a declared wire size between node inboxes. The NIC models in
+// internal/via implement framing, fragmentation and reliability on top.
+package fabric
+
+import (
+	"fmt"
+
+	"vibe/internal/sim"
+)
+
+// NodeID identifies a host attached to the fabric.
+type NodeID int
+
+// Params describes the physical characteristics of a network. All three of
+// the paper's interconnects (Myrinet, Gigabit Ethernet, Giganet cLAN) are
+// instances of this shape with different constants.
+type Params struct {
+	Name string
+
+	// BandwidthBps is the link bandwidth in bits per second. Both link
+	// halves (host-switch, switch-host) run at this rate.
+	BandwidthBps float64
+
+	// LinkLatency is the propagation delay of one link hop.
+	LinkLatency sim.Duration
+
+	// SwitchLatency is the switch's store-and-forward/arbitration delay.
+	SwitchLatency sim.Duration
+
+	// FrameOverhead is the per-packet wire framing in bytes (headers,
+	// preamble, CRC) added to every packet's serialization time.
+	FrameOverhead int
+
+	// DropRate is the probability that any given packet is silently lost.
+	// Real SANs are nearly lossless; reliability benchmarks raise this to
+	// exercise retransmission.
+	DropRate float64
+}
+
+// SerializationTime reports how long a payload of n bytes occupies a link.
+func (p *Params) SerializationTime(n int) sim.Duration {
+	bits := float64(n+p.FrameOverhead) * 8
+	return sim.Duration(bits / p.BandwidthBps * float64(sim.Second))
+}
+
+// Delivery is what arrives in a node's inbox.
+type Delivery struct {
+	Src     NodeID
+	Dst     NodeID
+	Size    int // wire payload bytes (excluding frame overhead)
+	Payload interface{}
+}
+
+// DropFilter decides whether a particular packet should be lost. It runs
+// before the random drop check; returning true drops the packet. The index
+// is a global packet sequence number, so tests can target exact packets.
+type DropFilter func(index uint64, d Delivery) bool
+
+type port struct {
+	up   *sim.Pipe // node -> switch
+	down *sim.Pipe // switch -> node
+	in   *sim.Queue
+}
+
+// Network is a star topology: every node connects to one crossbar switch.
+type Network struct {
+	eng    *sim.Engine
+	params Params
+	ports  []*port
+
+	dropFilter DropFilter
+
+	// Counters for tests and reporting.
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	BytesSent uint64
+}
+
+// New creates a network with n nodes attached to e.
+func New(e *sim.Engine, n int, params Params) *Network {
+	if n < 1 {
+		panic("fabric: need at least one node")
+	}
+	nw := &Network{eng: e, params: params}
+	for i := 0; i < n; i++ {
+		nw.ports = append(nw.ports, &port{
+			up:   sim.NewPipe(e),
+			down: sim.NewPipe(e),
+			in:   sim.NewQueue(e),
+		})
+	}
+	return nw
+}
+
+// Params returns the network's physical parameters.
+func (nw *Network) Params() Params { return nw.params }
+
+// Nodes reports the number of attached nodes.
+func (nw *Network) Nodes() int { return len(nw.ports) }
+
+// Inbox returns the delivery queue for node id. NIC receive engines block
+// on it.
+func (nw *Network) Inbox(id NodeID) *sim.Queue {
+	return nw.port(id).in
+}
+
+// SetDropFilter installs (or, with nil, removes) a deterministic loss
+// filter.
+func (nw *Network) SetDropFilter(f DropFilter) { nw.dropFilter = f }
+
+func (nw *Network) port(id NodeID) *port {
+	if int(id) < 0 || int(id) >= len(nw.ports) {
+		panic(fmt.Sprintf("fabric: no node %d", id))
+	}
+	return nw.ports[id]
+}
+
+// Send injects a packet from src. It does not block the caller: link
+// occupancy is modeled with pipes and the delivery is scheduled as an
+// engine event. Send returns the instant the packet finishes serializing
+// onto the source link (when the sending NIC's transmitter is free again).
+func (nw *Network) Send(src, dst NodeID, size int, payload interface{}) sim.Time {
+	sp, dp := nw.port(src), nw.port(dst)
+	ser := nw.params.SerializationTime(size)
+
+	txDone := sp.up.Occupy(ser)
+	nw.Sent++
+	nw.BytesSent += uint64(size)
+
+	d := Delivery{Src: src, Dst: dst, Size: size, Payload: payload}
+	if nw.dropFilter != nil && nw.dropFilter(nw.Sent-1, d) {
+		nw.Dropped++
+		return txDone
+	}
+	if nw.params.DropRate > 0 && nw.eng.Rand().Float64() < nw.params.DropRate {
+		nw.Dropped++
+		return txDone
+	}
+
+	// Store-and-forward: the switch begins forwarding after the whole
+	// packet has arrived, and the destination link serializes it again.
+	atSwitch := txDone.Add(nw.params.LinkLatency).Add(nw.params.SwitchLatency)
+	rxDone := dp.down.OccupyFrom(atSwitch, ser)
+	deliverAt := rxDone.Add(nw.params.LinkLatency)
+
+	nw.eng.At(deliverAt, func() {
+		nw.Delivered++
+		dp.in.Push(d)
+	})
+	return txDone
+}

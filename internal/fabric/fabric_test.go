@@ -1,0 +1,194 @@
+package fabric
+
+import (
+	"testing"
+
+	"vibe/internal/sim"
+)
+
+// testParams: 1 Gb/s, 1us links, 500ns switch, no framing overhead so the
+// arithmetic below is exact.
+func testParams() Params {
+	return Params{
+		Name:          "test",
+		BandwidthBps:  1e9,
+		LinkLatency:   sim.Microsecond,
+		SwitchLatency: 500 * sim.Nanosecond,
+	}
+}
+
+func TestSerializationTime(t *testing.T) {
+	p := testParams()
+	// 1000 bytes at 1 Gb/s = 8000 ns.
+	if got := p.SerializationTime(1000); got != 8000 {
+		t.Fatalf("ser = %v, want 8000ns", got)
+	}
+	p.FrameOverhead = 50
+	if got := p.SerializationTime(1000); got != 8400 {
+		t.Fatalf("ser with overhead = %v, want 8400ns", got)
+	}
+}
+
+func TestEndToEndDeliveryTime(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := New(e, 2, testParams())
+	var arrival sim.Time
+	var got Delivery
+	e.At(0, func() {
+		txDone := nw.Send(0, 1, 1000, "hello")
+		// Source serialization of 1000B = 8000ns.
+		if txDone != 8000 {
+			t.Errorf("txDone = %v, want 8000ns", txDone)
+		}
+	})
+	e.Spawn("rx", func(p *sim.Proc) {
+		got = nw.Inbox(1).Pop(p).(Delivery)
+		arrival = p.Now()
+	})
+	e.MustRun()
+	// 8000 (ser up) + 1000 (link) + 500 (switch) + 8000 (ser down) + 1000
+	// (link) = 18500ns.
+	if arrival != 18500 {
+		t.Fatalf("arrival = %v, want 18500ns", arrival)
+	}
+	if got.Payload.(string) != "hello" || got.Src != 0 || got.Dst != 1 || got.Size != 1000 {
+		t.Fatalf("delivery = %+v", got)
+	}
+}
+
+func TestBackToBackPacketsSerializeOnUplink(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := New(e, 2, testParams())
+	var arrivals []sim.Time
+	e.At(0, func() {
+		nw.Send(0, 1, 1000, 1)
+		nw.Send(0, 1, 1000, 2)
+	})
+	e.Spawn("rx", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			nw.Inbox(1).Pop(p)
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	e.MustRun()
+	// Second packet is pipelined behind the first: it leaves the source at
+	// 16000, and the downlink is free when it gets there, so arrivals are
+	// spaced by exactly one serialization time.
+	if arrivals[0] != 18500 || arrivals[1] != 26500 {
+		t.Fatalf("arrivals = %v, want [18500ns 26500ns]", arrivals)
+	}
+}
+
+func TestDistinctSourcesContendOnDownlink(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := New(e, 3, testParams())
+	var arrivals []sim.Time
+	e.At(0, func() {
+		nw.Send(0, 2, 1000, "a")
+		nw.Send(1, 2, 1000, "b")
+	})
+	e.Spawn("rx", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			nw.Inbox(2).Pop(p)
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	e.MustRun()
+	// Both arrive at the switch at 9500; the shared downlink serializes
+	// them: first done at 17500(+1000 link), second at 25500(+1000).
+	if arrivals[0] != 18500 || arrivals[1] != 26500 {
+		t.Fatalf("arrivals = %v, want [18500ns 26500ns]", arrivals)
+	}
+}
+
+func TestDropFilter(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := New(e, 2, testParams())
+	nw.SetDropFilter(func(index uint64, d Delivery) bool { return index == 0 })
+	received := 0
+	e.At(0, func() {
+		nw.Send(0, 1, 100, "lost")
+		nw.Send(0, 1, 100, "kept")
+	})
+	e.Spawn("rx", func(p *sim.Proc) {
+		d := nw.Inbox(1).Pop(p).(Delivery)
+		if d.Payload.(string) != "kept" {
+			t.Errorf("got dropped packet %v", d.Payload)
+		}
+		received++
+	})
+	e.MustRun()
+	if received != 1 || nw.Dropped != 1 || nw.Sent != 2 || nw.Delivered != 1 {
+		t.Fatalf("received=%d dropped=%d sent=%d delivered=%d", received, nw.Dropped, nw.Sent, nw.Delivered)
+	}
+}
+
+func TestRandomDropRateIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) uint64 {
+		e := sim.NewEngine(seed)
+		p := testParams()
+		p.DropRate = 0.5
+		nw := New(e, 2, p)
+		e.At(0, func() {
+			for i := 0; i < 100; i++ {
+				nw.Send(0, 1, 10, i)
+			}
+		})
+		// No receiver needed: Push never blocks, and unread inbox items do
+		// not count as a deadlock.
+		e.MustRun()
+		return nw.Dropped
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed, different drops: %d vs %d", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("droprate 0.5 dropped %d of 100", a)
+	}
+	c := run(8)
+	// Different seeds will almost surely differ; not asserting, just
+	// exercising the path.
+	_ = c
+}
+
+func TestBytesSentCounter(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := New(e, 2, testParams())
+	e.At(0, func() {
+		nw.Send(0, 1, 300, nil)
+		nw.Send(0, 1, 200, nil)
+	})
+	e.MustRun()
+	if nw.BytesSent != 500 {
+		t.Fatalf("BytesSent = %d", nw.BytesSent)
+	}
+}
+
+func TestBadNodePanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := New(e, 2, testParams())
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for bad node id")
+		}
+	}()
+	nw.Inbox(5)
+}
+
+func TestSelfSend(t *testing.T) {
+	// Loopback through the switch still works (a process sending to a VI
+	// on the same node).
+	e := sim.NewEngine(1)
+	nw := New(e, 1, testParams())
+	got := false
+	e.At(0, func() { nw.Send(0, 0, 100, "loop") })
+	e.Spawn("rx", func(p *sim.Proc) {
+		nw.Inbox(0).Pop(p)
+		got = true
+	})
+	e.MustRun()
+	if !got {
+		t.Fatal("loopback packet not delivered")
+	}
+}

@@ -1,0 +1,244 @@
+// Package getput is a one-sided get/put programming-model layer over the
+// VIA substrate — the "get/put" layer the paper's §3.3 lists among VIBe's
+// target models. Each node exposes named memory regions; peers Put into
+// and Get from them without involving the owner's application thread.
+//
+// Design choices driven by VIBe results:
+//
+//   - Puts are RDMA writes on reliable-delivery connections: zero-copy and
+//     owner-CPU-free on every provider (all three support RDMA write).
+//   - Gets use hardware RDMA read where the provider offers it (cLAN,
+//     M-VIA); on Berkeley VIA — whose NIC cannot read — the layer falls
+//     back transparently to a request serviced by the owner's daemon,
+//     which RDMA-writes the data back. The PM benchmarks quantify the
+//     fallback's cost.
+//   - Region descriptors (address + memory handle) are resolved once via
+//     a lookup protocol and cached, because VIBe's Figure 1 prices
+//     per-operation metadata traffic.
+//   - Each node's daemon multiplexes every peer through one completion
+//     queue (the Figure 6 guidance: few VIs, one CQ).
+package getput
+
+import (
+	"fmt"
+
+	"vibe/internal/sim"
+	"vibe/internal/via"
+	"vibe/internal/vmem"
+)
+
+// Config tunes the layer.
+type Config struct {
+	// MaxName bounds exposed-region names.
+	MaxName int
+	// Timeout bounds internal waits.
+	Timeout sim.Duration
+}
+
+// DefaultConfig returns the standard configuration.
+func DefaultConfig() Config {
+	return Config{MaxName: 48, Timeout: 30 * sim.Second}
+}
+
+// Fabric is a set of get/put nodes, one per host.
+type Fabric struct {
+	sys *via.System
+	n   int
+	cfg Config
+}
+
+// NewFabric prepares one node per host.
+func NewFabric(sys *via.System, cfg Config) *Fabric {
+	if cfg.MaxName == 0 {
+		cfg.MaxName = 48
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 30 * sim.Second
+	}
+	return &Fabric{sys: sys, n: sys.Hosts(), cfg: cfg}
+}
+
+// Run spawns each node's service daemon and application process; fn runs
+// as the application. Call sys.Run() afterwards.
+func (f *Fabric) Run(fn func(ctx *via.Ctx, nd *Node)) {
+	nodes := make([]*Node, f.n)
+	for i := 0; i < f.n; i++ {
+		i := i
+		f.sys.Go(i, fmt.Sprintf("gp-node%d", i), func(ctx *via.Ctx) {
+			nd, err := f.initNode(ctx, i)
+			if err != nil {
+				panic(fmt.Sprintf("getput: node %d init: %v", i, err))
+			}
+			nodes[i] = nd
+			fn(ctx, nd)
+		})
+	}
+}
+
+// ringSlots is the pre-posted control-message depth per inbound VI.
+const ringSlots = 16
+
+// initNode wires node i: for every ordered pair, one VI whose requests
+// flow toward the higher endpoint of the exchange. Concretely, node a
+// keeps two VIs per peer b: reqVI (a requests, b's daemon responds) and
+// srvVI (b requests, a's daemon responds).
+func (f *Fabric) initNode(ctx *via.Ctx, me int) (*Node, error) {
+	nic := ctx.OpenNic()
+	nd := &Node{
+		fab:     f,
+		me:      me,
+		ctx:     ctx,
+		nic:     nic,
+		peers:   make([]*gpPeer, f.n),
+		regions: map[string]exposed{},
+		pending: map[uint32]*opState{},
+		wake:    sim.NewSignal(ctx.P.Engine()),
+	}
+	cq, err := nic.CreateCQ(ctx, 1024)
+	if err != nil {
+		return nil, err
+	}
+	nd.cq = cq
+
+	supportsRead := nic.Attributes().RdmaReadSupported
+	reqAttrs := via.ViAttributes{
+		Reliability:     via.ReliableDelivery,
+		EnableRdmaWrite: true,
+		EnableRdmaRead:  supportsRead,
+	}
+
+	// Create both VIs per peer; receive sides feed the daemon CQ.
+	for p := 0; p < f.n; p++ {
+		if p == me {
+			continue
+		}
+		gp := &gpPeer{}
+		if gp.req, err = nic.CreateVi(ctx, reqAttrs, nil, cq); err != nil {
+			return nil, err
+		}
+		if gp.srv, err = nic.CreateVi(ctx, reqAttrs, nil, cq); err != nil {
+			return nil, err
+		}
+		for _, vi := range []*via.Vi{gp.req, gp.srv} {
+			ring := make([]regBuf, ringSlots)
+			for s := 0; s < ringSlots; s++ {
+				buf := ctx.Malloc(ctlBytes + f.cfg.MaxName)
+				h, err := nic.RegisterMem(ctx, buf)
+				if err != nil {
+					return nil, err
+				}
+				ring[s] = regBuf{buf: buf, h: h}
+				if err := vi.PostRecv(ctx, via.SimpleRecv(buf, h, ctlBytes+f.cfg.MaxName)); err != nil {
+					return nil, err
+				}
+			}
+			if vi == gp.req {
+				gp.reqRing = ring
+			} else {
+				gp.srvRing = ring
+			}
+		}
+		// Each VI gets its own bounce: the user proc sends on req, the
+		// daemon sends on srv — never both on one queue.
+		b1 := ctx.Malloc(ctlBytes + f.cfg.MaxName)
+		h1, err := nic.RegisterMem(ctx, b1)
+		if err != nil {
+			return nil, err
+		}
+		gp.reqBounce = regBuf{buf: b1, h: h1}
+		b2 := ctx.Malloc(ctlBytes + f.cfg.MaxName)
+		h2, err := nic.RegisterMem(ctx, b2)
+		if err != nil {
+			return nil, err
+		}
+		gp.srvBounce = regBuf{buf: b2, h: h2}
+		gp.lookups = map[string]remoteRegion{}
+		nd.peers[p] = gp
+	}
+
+	// Connect: for each ordered (a, b), a's req VI pairs with b's srv VI;
+	// the lower host id dials both of its directions first to keep the
+	// handshake order deterministic.
+	connect := func(mine *via.Vi, peerHost int, disc string, dial bool) error {
+		if dial {
+			return mine.ConnectRequest(ctx, f.sys.Host(peerHost).ID(), disc, f.cfg.Timeout)
+		}
+		req, err := nic.ConnectWait(ctx, disc, f.cfg.Timeout)
+		if err != nil {
+			return err
+		}
+		return req.Accept(ctx, mine)
+	}
+	for p := 0; p < f.n; p++ {
+		if p == me {
+			continue
+		}
+		gp := nd.peers[p]
+		discMine := fmt.Sprintf("gp-%d-%d", me, p) // my requests toward p
+		discTheir := fmt.Sprintf("gp-%d-%d", p, me)
+		if me < p {
+			if err := connect(gp.req, p, discMine, true); err != nil {
+				return nil, err
+			}
+			if err := connect(gp.srv, p, discTheir, false); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := connect(gp.srv, p, discTheir, false); err != nil {
+				return nil, err
+			}
+			if err := connect(gp.req, p, discMine, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// The daemon services inbound control traffic for the node's
+	// lifetime.
+	f.sys.Go(me, fmt.Sprintf("gp-daemon%d", me), func(dctx *via.Ctx) {
+		dctx.P.SetDaemon(true)
+		nd.daemon(dctx)
+	})
+	return nd, nil
+}
+
+// regBuf is a registered buffer.
+type regBuf struct {
+	buf *vmem.Buffer
+	h   via.MemHandle
+}
+
+// gpPeer is the per-peer connection state.
+type gpPeer struct {
+	req       *via.Vi // this node requests / puts / reads
+	srv       *via.Vi // the peer requests; our daemon responds
+	reqRing   []regBuf
+	srvRing   []regBuf
+	reqRingAt int
+	srvRingAt int
+	reqBounce regBuf // user-proc staging (requests)
+	srvBounce regBuf // daemon staging (responses)
+
+	lookups map[string]remoteRegion
+}
+
+// remoteRegion is a cached answer to a region lookup.
+type remoteRegion struct {
+	addr   vmem.Addr
+	handle via.MemHandle
+	length int
+}
+
+// exposed is a locally exported region.
+type exposed struct {
+	buf    *vmem.Buffer
+	handle via.MemHandle
+}
+
+// opState tracks one in-flight user operation awaiting a daemon-routed
+// response.
+type opState struct {
+	done   bool
+	status byte
+	region remoteRegion
+}

@@ -1,0 +1,70 @@
+package getput
+
+import (
+	"encoding/binary"
+
+	"vibe/internal/via"
+	"vibe/internal/vmem"
+)
+
+// Control-message wire format (fixed header + optional name):
+//
+//	[kind:1][status:1][namelen:2][req:4][off:8][n:8][addr:8][handle:8]
+//	[name...]
+const ctlBytes = 40
+
+const (
+	opLookupReq  = 1 // name -> region descriptor
+	opLookupResp = 2
+	opGetReq     = 3 // owner RDMA-writes [off, off+n) of region to addr/handle
+	opGetDone    = 4
+	opFenceReq   = 5
+	opFenceResp  = 6
+)
+
+const (
+	stOK       = 0
+	stNotFound = 1
+	stRange    = 2
+)
+
+// ctl is a decoded control message.
+type ctl struct {
+	kind   byte
+	status byte
+	req    uint32
+	off    int
+	n      int
+	addr   vmem.Addr
+	handle via.MemHandle
+	name   string
+}
+
+// encode writes c into dst and returns the total length.
+func (c *ctl) encode(dst []byte) int {
+	dst[0] = c.kind
+	dst[1] = c.status
+	binary.LittleEndian.PutUint16(dst[2:], uint16(len(c.name)))
+	binary.LittleEndian.PutUint32(dst[4:], c.req)
+	binary.LittleEndian.PutUint64(dst[8:], uint64(c.off))
+	binary.LittleEndian.PutUint64(dst[16:], uint64(c.n))
+	binary.LittleEndian.PutUint64(dst[24:], uint64(c.addr))
+	binary.LittleEndian.PutUint64(dst[32:], uint64(c.handle))
+	copy(dst[ctlBytes:], c.name)
+	return ctlBytes + len(c.name)
+}
+
+// decode parses a control message.
+func decode(src []byte) ctl {
+	nameLen := int(binary.LittleEndian.Uint16(src[2:]))
+	return ctl{
+		kind:   src[0],
+		status: src[1],
+		req:    binary.LittleEndian.Uint32(src[4:]),
+		off:    int(binary.LittleEndian.Uint64(src[8:])),
+		n:      int(binary.LittleEndian.Uint64(src[16:])),
+		addr:   vmem.Addr(binary.LittleEndian.Uint64(src[24:])),
+		handle: via.MemHandle(binary.LittleEndian.Uint64(src[32:])),
+		name:   string(src[ctlBytes : ctlBytes+nameLen]),
+	}
+}

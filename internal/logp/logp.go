@@ -1,0 +1,230 @@
+// Package logp extracts LogP parameters (Culler et al., the model the
+// paper's introduction argues is insufficient for comparing VIA
+// implementations) from VIBe-style measurements, so the suite can
+// demonstrate what LogP captures and what it misses.
+//
+// Parameters, per the model:
+//
+//	L — network latency: one-way time not attributable to the processors
+//	o — processor overhead per message (send overhead os + receive
+//	    overhead or), time the host CPU is busy injecting/extracting
+//	g — gap: minimum interval between consecutive small messages
+//	    (reciprocal of small-message rate)
+//
+// The extraction runs its own micro-measurements against a provider. Its
+// point — made by ExplainInsufficiency and the LogP tests — is that two
+// providers with near-identical (L, o, g) can diverge wildly once buffer
+// reuse, completion queues, or the number of VIs change, which is exactly
+// the paper's motivation for VIBe.
+package logp
+
+import (
+	"fmt"
+
+	"vibe/internal/core"
+	"vibe/internal/provider"
+	"vibe/internal/sim"
+	"vibe/internal/via"
+)
+
+// Params are extracted LogP parameters in microseconds.
+type Params struct {
+	L  float64 // one-way wire+NIC latency
+	Os float64 // send overhead (host CPU)
+	Or float64 // receive overhead (host CPU)
+	G  float64 // gap between small messages
+}
+
+// MessageSize is the "small message" size LogP is defined over.
+const MessageSize = 4
+
+// Extract measures LogP parameters for a provider.
+func Extract(m *provider.Model) (Params, error) {
+	var p Params
+
+	// os and or: host CPU busy time around posting a send and around
+	// retrieving a completed receive, measured directly in a round trip.
+	osUs, orUs, rttUs, err := overheads(m)
+	if err != nil {
+		return p, err
+	}
+	p.Os, p.Or = osUs, orUs
+
+	// L = RTT/2 - os - or (the processor-free part of a one-way trip).
+	p.L = rttUs/2 - osUs - orUs
+	if p.L < 0 {
+		p.L = 0
+	}
+
+	// g: steady-state interval between back-to-back small messages.
+	cfg := core.DefaultConfig(m)
+	bw, err := core.Bandwidth(cfg, MessageSize, core.XferOpts{})
+	if err != nil {
+		return p, err
+	}
+	if bw.MBps > 0 {
+		p.G = float64(MessageSize) / (bw.MBps * 1e6) * 1e6
+	}
+	return p, nil
+}
+
+// overheads measures send overhead, receive overhead, and the round-trip
+// time of a small ping-pong.
+func overheads(m *provider.Model) (osUs, orUs, rttUs float64, err error) {
+	sys := via.NewSystem(m, 2, 1)
+	const iters = 50
+	var runErr error
+	fail := func(e error) {
+		if runErr == nil {
+			runErr = e
+		}
+		sys.Eng.Stop()
+	}
+	tmo := 10 * sim.Second
+
+	sys.Go(0, "logp-client", func(ctx *via.Ctx) {
+		nic := ctx.OpenNic()
+		vi, e := nic.CreateVi(ctx, via.ViAttributes{}, nil, nil)
+		if e != nil {
+			fail(e)
+			return
+		}
+		if e := vi.ConnectRequest(ctx, 1, "logp", tmo); e != nil {
+			fail(e)
+			return
+		}
+		buf := ctx.Malloc(MessageSize)
+		h, e := nic.RegisterMem(ctx, buf)
+		if e != nil {
+			fail(e)
+			return
+		}
+		var osSum sim.Duration
+		var t0 sim.Time
+		for i := 0; i < iters; i++ {
+			if i == 5 {
+				t0 = ctx.Now()
+			}
+			if e := vi.PostRecv(ctx, via.SimpleRecv(buf, h, MessageSize)); e != nil {
+				fail(e)
+				return
+			}
+			b0 := ctx.Host.CPU.Busy()
+			if e := vi.PostSend(ctx, via.SimpleSend(buf, h, MessageSize)); e != nil {
+				fail(e)
+				return
+			}
+			if i >= 5 {
+				osSum += ctx.Host.CPU.Busy() - b0
+			}
+			if _, e := vi.SendWaitPoll(ctx); e != nil {
+				fail(e)
+				return
+			}
+			if _, e := vi.RecvWaitPoll(ctx); e != nil {
+				fail(e)
+				return
+			}
+		}
+		n := float64(iters - 5)
+		osUs = (sim.Duration(float64(osSum) / n)).Micros()
+		// The receive-side extraction cost is the provider's completion
+		// check; spinning time is L, not overhead.
+		orUs = m.CheckCost.Micros() + m.PostRecvCost.Micros()
+		rttUs = ctx.Now().Sub(t0).Micros() / n
+	})
+	sys.Go(1, "logp-server", func(ctx *via.Ctx) {
+		nic := ctx.OpenNic()
+		vi, e := nic.CreateVi(ctx, via.ViAttributes{}, nil, nil)
+		if e != nil {
+			fail(e)
+			return
+		}
+		buf := ctx.Malloc(MessageSize)
+		h, e := nic.RegisterMem(ctx, buf)
+		if e != nil {
+			fail(e)
+			return
+		}
+		if e := vi.PostRecv(ctx, via.SimpleRecv(buf, h, MessageSize)); e != nil {
+			fail(e)
+			return
+		}
+		req, e := nic.ConnectWait(ctx, "logp", tmo)
+		if e != nil {
+			fail(e)
+			return
+		}
+		if e := req.Accept(ctx, vi); e != nil {
+			fail(e)
+			return
+		}
+		for i := 0; i < iters; i++ {
+			if _, e := vi.RecvWaitPoll(ctx); e != nil {
+				fail(e)
+				return
+			}
+			if i+1 < iters {
+				if e := vi.PostRecv(ctx, via.SimpleRecv(buf, h, MessageSize)); e != nil {
+					fail(e)
+					return
+				}
+			}
+			if e := vi.PostSend(ctx, via.SimpleSend(buf, h, MessageSize)); e != nil {
+				fail(e)
+				return
+			}
+			if _, e := vi.SendWaitPoll(ctx); e != nil {
+				fail(e)
+				return
+			}
+		}
+	})
+	if e := sys.Run(); e != nil {
+		return 0, 0, 0, e
+	}
+	return osUs, orUs, rttUs, runErr
+}
+
+// Insufficiency quantifies what LogP misses: for a provider, the relative
+// change in 4-byte latency when a VIA component changes even though
+// (L, o, g) are measured on the base configuration and do not change.
+type Insufficiency struct {
+	Params        Params
+	BaseLatencyUs float64
+	// LatencyAt16VIs and LatencyAt0Reuse are the same "small message
+	// latency" LogP would predict as constant.
+	LatencyAt16VIs  float64
+	LatencyAt0Reuse float64
+}
+
+// Explain runs the demonstration for one provider.
+func Explain(m *provider.Model) (Insufficiency, error) {
+	var ins Insufficiency
+	p, err := Extract(m)
+	if err != nil {
+		return ins, err
+	}
+	ins.Params = p
+	cfg := core.DefaultConfig(m)
+	base, err := core.Latency(cfg, MessageSize, core.XferOpts{})
+	if err != nil {
+		return ins, err
+	}
+	ins.BaseLatencyUs = base.LatencyUs
+	multi, err := core.Latency(cfg, MessageSize, core.XferOpts{ActiveVIs: 16})
+	if err != nil {
+		return ins, err
+	}
+	ins.LatencyAt16VIs = multi.LatencyUs
+	reuse, err := core.Latency(cfg, MessageSize, core.XferOpts{VaryBuffers: true, ReusePct: 0})
+	if err != nil {
+		return ins, err
+	}
+	ins.LatencyAt0Reuse = reuse.LatencyUs
+	return ins, nil
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("L=%.2fus os=%.2fus or=%.2fus g=%.2fus", p.L, p.Os, p.Or, p.G)
+}

@@ -1,0 +1,73 @@
+package mp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vibe/internal/via"
+	"vibe/internal/vmem"
+)
+
+// Wire protocol: every message on a peer VI starts with a fixed header.
+//
+//	[kind:1][pad:3][tag:4][req:4][n:4] = 16 bytes
+//
+// followed by the eager payload, or by [addr:8][handle:8] for RTS and CTS.
+const headerBytes = 16
+
+const (
+	kindEager  = 1 // payload follows the header
+	kindRTS    = 2 // request-to-send: sender's length in n
+	kindCTS    = 3 // clear-to-send: receiver's addr+handle follow
+	kindFin    = 4 // rendezvous data has been written
+	kindCredit = 5 // n = freed remote ring slots
+)
+
+func kindName(k byte) string {
+	switch k {
+	case kindEager:
+		return "eager"
+	case kindRTS:
+		return "rts"
+	case kindCTS:
+		return "cts"
+	case kindFin:
+		return "fin"
+	case kindCredit:
+		return "credit"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// putHeader writes the fixed header into dst.
+func putHeader(dst []byte, kind byte, tag int32, req uint32, n int) {
+	dst[0] = kind
+	dst[1], dst[2], dst[3] = 0, 0, 0
+	binary.LittleEndian.PutUint32(dst[4:], uint32(tag))
+	binary.LittleEndian.PutUint32(dst[8:], req)
+	binary.LittleEndian.PutUint32(dst[12:], uint32(n))
+}
+
+// parseHeader decodes the fixed header.
+func parseHeader(src []byte) (kind byte, tag int32, req uint32, n int) {
+	kind = src[0]
+	tag = int32(binary.LittleEndian.Uint32(src[4:]))
+	req = binary.LittleEndian.Uint32(src[8:])
+	n = int(binary.LittleEndian.Uint32(src[12:]))
+	return
+}
+
+// putAddr appends an (addr, handle) pair after the header.
+func putAddr(dst []byte, addr vmem.Addr, h via.MemHandle) {
+	binary.LittleEndian.PutUint64(dst[headerBytes:], uint64(addr))
+	binary.LittleEndian.PutUint64(dst[headerBytes+8:], uint64(h))
+}
+
+// parseAddr reads the (addr, handle) pair after the header.
+func parseAddr(src []byte) (vmem.Addr, via.MemHandle) {
+	return vmem.Addr(binary.LittleEndian.Uint64(src[headerBytes:])),
+		via.MemHandle(binary.LittleEndian.Uint64(src[headerBytes+8:]))
+}
+
+// addrBytes is the size of an RTS/CTS body.
+const addrBytes = 16

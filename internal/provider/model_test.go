@@ -1,0 +1,112 @@
+package provider
+
+import (
+	"testing"
+
+	"vibe/internal/sim"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mvia", "bvia", "clan"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown provider accepted")
+	}
+	if len(All()) != 3 {
+		t.Errorf("All() = %d models", len(All()))
+	}
+}
+
+func TestReliabilityMasks(t *testing.T) {
+	mvia, bvia, clan := MVIA(), BVIA(), CLAN()
+	for _, m := range []*Model{mvia, bvia, clan} {
+		if !m.Supports(0) {
+			t.Errorf("%s must support unreliable delivery", m.Name)
+		}
+		if !m.Supports(1) {
+			t.Errorf("%s should support reliable delivery", m.Name)
+		}
+	}
+	if bvia.Supports(2) || mvia.Supports(2) {
+		t.Error("only cLAN supports reliable reception")
+	}
+	if !clan.Supports(2) {
+		t.Error("cLAN must support reliable reception")
+	}
+}
+
+func TestBehaviouralSwitches(t *testing.T) {
+	mvia, bvia, clan := MVIA(), BVIA(), CLAN()
+	if mvia.TranslationAt != TranslateAtHost || !mvia.HostCopies {
+		t.Error("M-VIA must translate at host and copy through the kernel")
+	}
+	if bvia.TranslationAt != TranslateAtNIC || bvia.TablesAt != TablesInHostMemory {
+		t.Error("BVIA must translate on the NIC with host-resident tables")
+	}
+	if bvia.TLBCapacity <= 0 || !bvia.PollSweep {
+		t.Error("BVIA needs a finite NIC cache and the poll sweep")
+	}
+	if clan.TablesAt != TablesInNICMemory || clan.PollSweep || clan.HostCopies {
+		t.Error("cLAN must be fully offloaded")
+	}
+	if bvia.SupportsRDMARead {
+		t.Error("BVIA does not support RDMA read")
+	}
+}
+
+func TestTable1CostsAreModelParameters(t *testing.T) {
+	// The directly-parameterized Table 1 entries.
+	cases := []struct {
+		name string
+		got  sim.Duration
+		us   float64
+	}{
+		{"mvia ViCreate", MVIA().ViCreate, 93},
+		{"bvia ViCreate", BVIA().ViCreate, 28},
+		{"clan ViCreate", CLAN().ViCreate, 3},
+		{"bvia CqCreate", BVIA().CqCreate, 206},
+		{"clan ConnTeardown", CLAN().ConnTeardownCost, 155},
+	}
+	for _, c := range cases {
+		if c.got != sim.Microseconds(c.us) {
+			t.Errorf("%s = %v, want %vus", c.name, c.got, c.us)
+		}
+	}
+}
+
+func TestNetworkParamsPlausible(t *testing.T) {
+	for _, m := range All() {
+		n := m.Network
+		if n.BandwidthBps < 0.5e9 || n.BandwidthBps > 2e9 {
+			t.Errorf("%s bandwidth %.2g implausible for a 2001 SAN", m.Name, n.BandwidthBps)
+		}
+		if n.LinkLatency <= 0 || n.SwitchLatency <= 0 {
+			t.Errorf("%s zero link/switch latency", m.Name)
+		}
+		if m.WireMTU <= 0 || m.MaxTransferSize < m.WireMTU {
+			t.Errorf("%s MTU/transfer sizes inconsistent", m.Name)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := BVIA()
+	c := m.Clone()
+	c.TLBCapacity = 999
+	if m.TLBCapacity == 999 {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestSiteStrings(t *testing.T) {
+	if TranslateAtHost.String() != "host" || TranslateAtNIC.String() != "nic" {
+		t.Error("TranslationSite strings")
+	}
+	if TablesInHostMemory.String() != "host-memory" || TablesInNICMemory.String() != "nic-memory" {
+		t.Error("TableSite strings")
+	}
+}

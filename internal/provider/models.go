@@ -1,0 +1,258 @@
+package provider
+
+import (
+	"fmt"
+
+	"vibe/internal/fabric"
+	"vibe/internal/nicsim"
+	"vibe/internal/sim"
+)
+
+// us is shorthand for building cost constants.
+func us(v float64) sim.Duration { return sim.Microseconds(v) }
+
+// MVIA models M-VIA 1.0 on Packet Engines GNIC-II Gigabit Ethernet: VIA
+// emulated by the host kernel. Doorbells are system calls, payloads are
+// copied between user and kernel buffers on both sides, and address
+// translation happens on the host, so performance is insensitive to buffer
+// reuse but pays heavy per-byte and per-message software costs.
+func MVIA() *Model {
+	return &Model{
+		Name: "mvia",
+		Network: fabric.Params{
+			Name:          "gigabit-ethernet",
+			BandwidthBps:  1.0e9,
+			LinkLatency:   us(0.5),
+			SwitchLatency: us(2.0),
+			FrameOverhead: 38, // Ethernet preamble+header+CRC+IFG
+		},
+
+		ViCreate:  us(93),
+		ViDestroy: us(0.19),
+
+		ConnRequestCost:  us(6447.7),
+		ConnAcceptCost:   us(8),
+		ConnTeardownCost: us(3),
+
+		CqCreate:  us(17),
+		CqDestroy: us(8.44),
+
+		MemRegBase:      us(3.0),
+		MemRegPerPage:   us(3.6),
+		MemDeregBase:    us(1.2),
+		MemDeregPerPage: 0,
+
+		PostSendCost:   us(1.8),
+		PostRecvCost:   us(1.5),
+		PerSegmentCost: us(0.6),
+		DoorbellCost:   us(3.5), // trap into the kernel
+
+		HostCopies:  true,
+		CopyPerByte: us(0.018), // ~55 MB/s kernel memcpy on a 300 MHz PII
+
+		TranslationAt:    TranslateAtHost,
+		HostXlatePerPage: us(0.7),
+		TablesAt:         TablesInHostMemory,
+		TLBCapacity:      0, // unused: host translates
+		TLBPolicy:        nicsim.FIFO,
+
+		CheckCost:      us(0.3),
+		CqCheckExtra:   us(0.1),
+		BlockWakeCost:  us(11), // signal delivery through the kernel
+		NotifyDispatch: us(9),
+
+		DoorbellProc:    us(1.0),
+		DescFetch:       us(1.0),
+		PerFragment:     us(1.0),
+		PerFragmentRecv: us(1.2),
+		DMAPerByte:      us(0.008), // 32-bit/33 MHz PCI
+		CompletionWrite: us(0.8),
+
+		PollSweep: false,
+
+		WireMTU: 1500,
+
+		AckProcessing:     us(1.5),
+		AckBytes:          32,
+		RetransmitTimeout: sim.Millisecond,
+		MaxRetries:        6,
+
+		MaxTransferSize:   32 * 1024,
+		MaxSegments:       8,
+		SupportsRDMAWrite: true,
+		SupportsRDMARead:  true,  // software can do anything
+		ReliabilityMask:   0b011, // Unreliable, ReliableDelivery
+	}
+}
+
+// BVIA models Berkeley VIA 2.2 on Myrinet (LANai 4.3): the NIC firmware
+// performs translation with tables in host memory and a small on-NIC
+// software cache, and it polls a per-VI send-descriptor structure, so both
+// buffer reuse and the number of open VIs affect performance strongly.
+func BVIA() *Model {
+	return &Model{
+		Name: "bvia",
+		Network: fabric.Params{
+			Name:          "myrinet",
+			BandwidthBps:  1.28e9,
+			LinkLatency:   us(0.4),
+			SwitchLatency: us(0.6),
+			FrameOverhead: 16,
+		},
+
+		ViCreate:  us(28),
+		ViDestroy: us(0.19),
+
+		ConnRequestCost:  us(476.2),
+		ConnAcceptCost:   us(15),
+		ConnTeardownCost: us(9),
+
+		CqCreate:  us(206),
+		CqDestroy: us(35),
+
+		MemRegBase:      us(21),
+		MemRegPerPage:   us(0.6),
+		MemDeregBase:    us(14),
+		MemDeregPerPage: 0,
+
+		PostSendCost:   us(1.6),
+		PostRecvCost:   us(1.4),
+		PerSegmentCost: us(0.9),
+		DoorbellCost:   us(0.4), // memory-mapped doorbell
+
+		HostCopies:  false,
+		CopyPerByte: 0,
+
+		TranslationAt: TranslateAtNIC,
+		TablesAt:      TablesInHostMemory,
+		TLBCapacity:   32,
+		TLBPolicy:     nicsim.FIFO,
+
+		XlateHit:           us(0.5),
+		XlateMissHostTable: us(12.0), // LANai DMAs the entry from host memory
+
+		CheckCost:      us(0.3),
+		CqCheckExtra:   us(3.0), // 2-5us CQ overhead observed in the paper
+		BlockWakeCost:  us(9),
+		NotifyDispatch: us(8),
+
+		DoorbellProc:    us(2.5),
+		DescFetch:       us(3.0), // 33 MHz LANai fetching across PCI
+		PerFragment:     us(5.0),
+		PerFragmentRecv: us(5.0),
+		DMAPerByte:      us(0.00625), // Myrinet-rate DMA engines
+		CompletionWrite: us(1.2),
+
+		PollSweep: true,
+		PollPerVI: us(3.0),
+
+		WireMTU: 4096,
+
+		AckProcessing:     us(2.0),
+		AckBytes:          16,
+		RetransmitTimeout: sim.Millisecond,
+		MaxRetries:        6,
+
+		MaxTransferSize:   32 * 1024,
+		MaxSegments:       4,
+		SupportsRDMAWrite: true,
+		SupportsRDMARead:  false,
+		ReliabilityMask:   0b011, // Unreliable, ReliableDelivery
+	}
+}
+
+// CLAN models Giganet cLAN 1.3.0 (cLAN1000 adapters): native hardware VIA.
+// Translation tables live in NIC memory, doorbells are hardware registers,
+// and the data path is entirely offloaded, giving the lowest latency —
+// but connection establishment goes through a heavyweight management
+// protocol, making it by far the most expensive setup operation after
+// M-VIA's.
+func CLAN() *Model {
+	return &Model{
+		Name: "clan",
+		Network: fabric.Params{
+			Name:          "giganet-clan",
+			BandwidthBps:  0.95e9, // cell overhead keeps goodput near 110 MB/s
+			LinkLatency:   us(0.5),
+			SwitchLatency: us(0.5),
+			FrameOverhead: 8,
+		},
+
+		ViCreate:  us(3),
+		ViDestroy: us(0.11),
+
+		ConnRequestCost:  us(2437.4),
+		ConnAcceptCost:   us(12),
+		ConnTeardownCost: us(155),
+
+		CqCreate:  us(54),
+		CqDestroy: us(15),
+
+		MemRegBase:      us(8),
+		MemRegPerPage:   us(1.3),
+		MemDeregBase:    us(6),
+		MemDeregPerPage: 0,
+
+		PostSendCost:   us(0.7),
+		PostRecvCost:   us(0.6),
+		PerSegmentCost: us(0.3),
+		DoorbellCost:   us(0.2),
+
+		HostCopies:  false,
+		CopyPerByte: 0,
+
+		TranslationAt: TranslateAtNIC,
+		TablesAt:      TablesInNICMemory,
+		TLBCapacity:   0, // irrelevant: full table on the NIC
+		TLBPolicy:     nicsim.FIFO,
+
+		XlateNICTable: us(0.15),
+
+		CheckCost:      us(0.2),
+		CqCheckExtra:   us(0.05),
+		BlockWakeCost:  us(7),
+		NotifyDispatch: us(6),
+
+		DoorbellProc:    us(1.0),
+		DescFetch:       us(1.2),
+		PerFragment:     us(1.2),
+		PerFragmentRecv: us(1.2),
+		DMAPerByte:      us(0.0078),
+		CompletionWrite: us(0.4),
+
+		PollSweep: false,
+
+		WireMTU: 4096,
+
+		AckProcessing:     us(0.5),
+		AckBytes:          8,
+		RetransmitTimeout: 500 * sim.Microsecond,
+		MaxRetries:        8,
+
+		MaxTransferSize:   64 * 1024,
+		MaxSegments:       16,
+		SupportsRDMAWrite: true,
+		SupportsRDMARead:  true,
+		ReliabilityMask:   0b111, // all three levels in hardware
+	}
+}
+
+// All returns the three calibrated models in the paper's presentation
+// order.
+func All() []*Model {
+	return []*Model{MVIA(), BVIA(), CLAN()}
+}
+
+// ByName returns the model with the given name.
+func ByName(name string) (*Model, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, errUnknown(name)
+}
+
+func errUnknown(name string) error {
+	return fmt.Errorf("provider: unknown model %q (have mvia, bvia, clan + extended firmvia, iba)", name)
+}

@@ -1,0 +1,133 @@
+package results
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vibe/internal/bench"
+	"vibe/internal/core"
+	"vibe/internal/table"
+)
+
+func sampleSet(latency float64) *Set {
+	t := table.New("costs", "op", "us")
+	t.AddRow("create", 93.0)
+	g := bench.NewGroup("latency")
+	s := bench.NewSeries("clan", "size", "us")
+	s.Add(4, latency)
+	s.Add(1024, latency*4)
+	g.Add(s)
+	e := FromReport("T1", &core.Report{
+		Title:  "demo",
+		Tables: []*table.Table{t},
+		Groups: []*bench.Group{g},
+		Notes:  []string{"n"},
+	})
+	return &Set{Label: "sample", Experiments: []Experiment{e}}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	s := sampleSet(8.9)
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != FormatVersion || got.Suite != "vibe" || got.Label != "sample" {
+		t.Fatalf("header = %+v", got)
+	}
+	if len(got.Experiments) != 1 || got.Experiments[0].ID != "T1" {
+		t.Fatalf("experiments = %+v", got.Experiments)
+	}
+	e := got.Experiments[0]
+	if len(e.Tables) != 1 || e.Tables[0].Rows[0][1] != "93" {
+		t.Fatalf("table = %+v", e.Tables)
+	}
+	if len(e.Groups) != 1 || e.Groups[0].Series[0].Y[0] != 8.9 {
+		t.Fatalf("group = %+v", e.Groups)
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, `{"version": 99, "suite": "vibe"}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCompareIdenticalSetsClean(t *testing.T) {
+	a, b := sampleSet(8.9), sampleSet(8.9)
+	if diffs := Compare(a, b, 0.05); len(diffs) != 0 {
+		t.Fatalf("identical sets diff: %+v", diffs)
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base, cur := sampleSet(8.9), sampleSet(12.0) // +35%
+	diffs := Compare(base, cur, 0.05)
+	if len(diffs) != 2 { // both series points moved
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	if diffs[0].Experiment != "T1" || !strings.Contains(diffs[0].Where, "latency/clan@4") {
+		t.Fatalf("diff[0] = %+v", diffs[0])
+	}
+	if math.Abs(diffs[0].RelErr-(12.0-8.9)/8.9) > 1e-9 {
+		t.Fatalf("relerr = %v", diffs[0].RelErr)
+	}
+	// Within tolerance: no diffs.
+	if d := Compare(base, cur, 0.50); len(d) != 0 {
+		t.Fatalf("tolerant compare diffed: %+v", d)
+	}
+}
+
+func TestCompareMissingPieces(t *testing.T) {
+	base, cur := sampleSet(8.9), sampleSet(8.9)
+	cur.Experiments[0].ID = "T2"
+	diffs := Compare(base, cur, 0.05)
+	// T1 missing from cur, T2 missing from base.
+	if len(diffs) != 2 || !math.IsInf(diffs[0].RelErr, 1) {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	// Missing series within an experiment.
+	base2, cur2 := sampleSet(8.9), sampleSet(8.9)
+	cur2.Experiments[0].Groups[0].Series[0].Name = "renamed"
+	d2 := Compare(base2, cur2, 0.05)
+	found := false
+	for _, d := range d2 {
+		if strings.Contains(d.Where, "clan (missing)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing series not reported: %+v", d2)
+	}
+}
+
+func TestRender(t *testing.T) {
+	var b strings.Builder
+	Render(&b, nil, 0.05)
+	if !strings.Contains(b.String(), "no differences") {
+		t.Fatalf("clean render = %q", b.String())
+	}
+	b.Reset()
+	Render(&b, []Diff{{Experiment: "F3", Where: "x@4", Base: 10, New: 12, RelErr: 0.2}}, 0.05)
+	if !strings.Contains(b.String(), "F3") || !strings.Contains(b.String(), "+20.0%") {
+		t.Fatalf("render = %q", b.String())
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// event is a scheduled callback. Events fire in (at, seq) order so that two
+// events scheduled for the same instant run in schedule order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. It owns the virtual clock,
+// the event queue, and the set of live processes. An Engine is not safe for
+// use from multiple goroutines except through the process-handshake
+// mechanism it manages itself.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	// park receives a token whenever the currently running process yields
+	// control back to the event loop.
+	park chan struct{}
+
+	live    int // number of spawned processes that have not finished
+	blocked int // processes parked on a Signal/Queue/Resource (no wake event pending)
+
+	stopped bool
+	tracer  Tracer
+}
+
+// Tracer receives a line for every traced simulation event. A nil tracer
+// disables tracing.
+type Tracer interface {
+	Trace(at Time, what string)
+}
+
+// NewEngine returns an engine with the virtual clock at zero. The seed
+// drives every source of randomness in the simulation (e.g. packet-loss
+// injection); runs with equal seeds are identical.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:  rand.New(rand.NewSource(seed)),
+		park: make(chan struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetTracer installs tr as the engine's tracer. Pass nil to disable.
+func (e *Engine) SetTracer(tr Tracer) { e.tracer = tr }
+
+// Tracef emits a formatted trace line if a tracer is installed.
+func (e *Engine) Tracef(format string, args ...interface{}) {
+	if e.tracer != nil {
+		e.tracer.Trace(e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// At schedules fn to run at instant t. Scheduling in the past panics: it
+// would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// are discarded.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run drives the event loop until no events remain, Stop is called, or a
+// deadlock is detected. It returns an error if live processes remain
+// blocked with an empty event queue (a deadlock: nobody can ever wake
+// them), which is almost always a bug in the simulated protocol.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if !e.stopped && e.blocked > 0 {
+		return fmt.Errorf("sim: deadlock at %v: %d process(es) blocked with no pending events", e.now, e.blocked)
+	}
+	return nil
+}
+
+// MustRun is Run, panicking on deadlock. Benchmarks use it so that protocol
+// bugs fail loudly.
+func (e *Engine) MustRun() {
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+}

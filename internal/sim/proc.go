@@ -1,0 +1,116 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with all other processes by the engine, one at a time. Inside a process
+// function, time passes only through the blocking primitives (Sleep, Wait,
+// queue operations); ordinary Go code executes in zero virtual time.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	dead   bool
+	daemon bool
+}
+
+// SetDaemon marks the process as a daemon: an engine loop that blocks
+// forever waiting for work (a NIC engine, a server accept loop). Blocked
+// daemons do not count toward deadlock detection, so Run can return once
+// all non-daemon work is finished.
+func (p *Proc) SetDaemon(on bool) { p.daemon = on }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn creates a process running fn and schedules it to start at the
+// current virtual time. fn runs concurrently with the caller in virtual
+// time but never in parallel in real time.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.live++
+	e.After(0, func() { p.start(fn) })
+	return p
+}
+
+// SpawnAfter is Spawn with the start delayed by d.
+func (e *Engine) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.live++
+	e.After(d, func() { p.start(fn) })
+	return p
+}
+
+func (p *Proc) start(fn func(*Proc)) {
+	go func() {
+		defer func() {
+			p.dead = true
+			p.eng.live--
+			if r := recover(); r != nil {
+				// Re-panic on the engine side so tests see the failure
+				// with a coherent stack instead of a hung channel.
+				p.eng.park <- struct{}{}
+				panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+			}
+			p.eng.park <- struct{}{}
+		}()
+		fn(p)
+	}()
+	<-p.eng.park
+}
+
+// yield returns control to the event loop. The process must already have
+// arranged for something to call p.wake() (directly or via a scheduled
+// event), otherwise it sleeps forever and Run reports a deadlock.
+func (p *Proc) yield() {
+	p.eng.park <- struct{}{}
+	<-p.resume
+}
+
+// wake transfers control to the process from inside an engine event.
+func (p *Proc) wake() {
+	if p.dead {
+		panic(fmt.Sprintf("sim: waking dead process %q", p.name))
+	}
+	p.resume <- struct{}{}
+	<-p.eng.park
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	if d == 0 {
+		// Even a zero sleep is a scheduling point: other events at this
+		// instant run first. This matches the "post then yield" semantics
+		// protocol code relies on.
+	}
+	p.eng.After(d, p.wake)
+	p.yield()
+}
+
+// park suspends the process with no wake-up scheduled; the waker is
+// responsible for calling wake via an engine event. The engine counts
+// parked non-daemon processes to detect deadlock.
+func (p *Proc) parkBlocked() {
+	if !p.daemon {
+		p.eng.blocked++
+	}
+	p.yield()
+	if !p.daemon {
+		p.eng.blocked--
+	}
+}
+
+// scheduleWake schedules this process to resume at the current instant
+// (after already-queued events). Used by Signal/Queue wakers.
+func (p *Proc) scheduleWake() {
+	p.eng.After(0, p.wake)
+}

@@ -1,0 +1,67 @@
+package sim
+
+// Queue is an unbounded FIFO connecting simulated processes. Pushes never
+// block; Pop blocks the caller until an item is available. It is the
+// workhorse for modeling hardware queues (doorbells, NIC receive rings).
+type Queue struct {
+	eng   *Engine
+	items []interface{}
+	avail *Signal
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue(e *Engine) *Queue {
+	return &Queue{eng: e, avail: NewSignal(e)}
+}
+
+// Push appends v and wakes one waiting consumer. It may be called from a
+// process or from a raw engine event (e.g. a packet-delivery callback).
+func (q *Queue) Push(v interface{}) {
+	q.items = append(q.items, v)
+	q.avail.Signal()
+}
+
+// Pop removes and returns the oldest item, parking the caller until one is
+// available.
+func (q *Queue) Pop(p *Proc) interface{} {
+	for len(q.items) == 0 {
+		q.avail.Wait(p)
+	}
+	v := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return v
+}
+
+// PopTimeout is Pop with a deadline; ok reports whether an item arrived in
+// time.
+func (q *Queue) PopTimeout(p *Proc, d Duration) (v interface{}, ok bool) {
+	deadline := q.eng.now.Add(d)
+	for len(q.items) == 0 {
+		remaining := deadline.Sub(q.eng.now)
+		if remaining <= 0 {
+			return nil, false
+		}
+		if !q.avail.WaitTimeout(p, remaining) {
+			return nil, false
+		}
+	}
+	v = q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return v, true
+}
+
+// TryPop removes and returns the oldest item without blocking.
+func (q *Queue) TryPop() (v interface{}, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v = q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }

@@ -1,0 +1,88 @@
+package sim
+
+// waiter is one process parked on a Signal. The woken/cancelled flags
+// guarantee exactly one wake per wait even when a broadcast and a timeout
+// land on the same instant.
+type waiter struct {
+	p        *Proc
+	woken    bool
+	timedOut bool
+}
+
+// Signal is a broadcast/wake-one condition. Waiters park until another
+// process (or an engine event) signals. Signals carry no data; pair them
+// with shared state guarded by the run-to-block execution model (no locks
+// are needed: only one process runs at a time).
+type Signal struct {
+	eng     *Engine
+	waiters []*waiter
+}
+
+// NewSignal returns a Signal bound to e.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Wait parks the calling process until the next Signal or Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	w := &waiter{p: p}
+	s.waiters = append(s.waiters, w)
+	p.parkBlocked()
+}
+
+// WaitTimeout parks the calling process until the next Signal/Broadcast or
+// until d elapses. It reports false if the wait timed out.
+func (s *Signal) WaitTimeout(p *Proc, d Duration) bool {
+	w := &waiter{p: p}
+	s.waiters = append(s.waiters, w)
+	p.eng.After(d, func() {
+		if w.woken {
+			return
+		}
+		w.woken = true
+		w.timedOut = true
+		s.remove(w)
+		p.scheduleWake()
+	})
+	p.parkBlocked()
+	return !w.timedOut
+}
+
+func (s *Signal) remove(w *waiter) {
+	for i, x := range s.waiters {
+		if x == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal wakes the longest-waiting process, if any. It reports whether a
+// process was woken.
+func (s *Signal) Signal() bool {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if w.woken {
+			continue
+		}
+		w.woken = true
+		w.p.scheduleWake()
+		return true
+	}
+	return false
+}
+
+// Broadcast wakes every waiting process in FIFO order.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		if w.woken {
+			continue
+		}
+		w.woken = true
+		w.p.scheduleWake()
+	}
+}
+
+// Waiters reports the number of parked processes.
+func (s *Signal) Waiters() int { return len(s.waiters) }

@@ -1,0 +1,313 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"vibe/internal/provider"
+	"vibe/internal/sim"
+	"vibe/internal/via"
+)
+
+// runPairConn wires a dialer and a listener and runs both callbacks.
+func runPairConn(t *testing.T, m *provider.Model, cfg Config,
+	client func(ctx *via.Ctx, c *Conn) error,
+	server func(ctx *via.Ctx, c *Conn) error) {
+	t.Helper()
+	sys := via.NewSystem(m, 2, 1)
+	sys.Go(0, "dialer", func(ctx *via.Ctx) {
+		c, err := Dial(ctx, 1, "svc", cfg)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		if err := client(ctx, c); err != nil {
+			t.Errorf("client: %v", err)
+		}
+	})
+	sys.Go(1, "listener", func(ctx *via.Ctx) {
+		c, err := Listen(ctx, "svc", cfg)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		if err := server(ctx, c); err != nil {
+			t.Errorf("server: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pattern fills a byte slice deterministically.
+func pattern(n int, seed byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = seed + byte(i*13)
+	}
+	return p
+}
+
+// readFull reads exactly n bytes.
+func readFull(ctx *via.Ctx, c *Conn, n int) ([]byte, error) {
+	out := make([]byte, n)
+	got := 0
+	for got < n {
+		k, err := c.Read(ctx, out[got:])
+		if err != nil {
+			return out[:got], err
+		}
+		got += k
+	}
+	return out, nil
+}
+
+func TestStreamEcho(t *testing.T) {
+	for _, m := range provider.All() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			msg := pattern(3000, 7)
+			runPairConn(t, m, DefaultConfig(),
+				func(ctx *via.Ctx, c *Conn) error {
+					if _, err := c.Write(ctx, msg); err != nil {
+						return err
+					}
+					got, err := readFull(ctx, c, len(msg))
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(got, msg) {
+						t.Error("echo mismatch")
+					}
+					return c.Close(ctx)
+				},
+				func(ctx *via.Ctx, c *Conn) error {
+					got, err := readFull(ctx, c, len(msg))
+					if err != nil {
+						return err
+					}
+					if _, err := c.Write(ctx, got); err != nil {
+						return err
+					}
+					// Drain to EOF so the FIN is consumed.
+					_, err = readFull(ctx, c, 1)
+					if err != io.EOF {
+						t.Errorf("want EOF, got %v", err)
+					}
+					return nil
+				})
+		})
+	}
+}
+
+func TestStreamLargeTransferOddSizes(t *testing.T) {
+	// 300KB written in awkward chunk sizes, read in different awkward
+	// sizes: byte-stream semantics must reassemble exactly.
+	const total = 300 * 1024
+	want := pattern(total, 3)
+	runPairConn(t, provider.CLAN(), DefaultConfig(),
+		func(ctx *via.Ctx, c *Conn) error {
+			off := 0
+			chunk := 1
+			for off < total {
+				n := chunk
+				if off+n > total {
+					n = total - off
+				}
+				if _, err := c.Write(ctx, want[off:off+n]); err != nil {
+					return err
+				}
+				off += n
+				chunk = chunk*3 + 7 // 1, 10, 37, 118, ...
+				if chunk > 40000 {
+					chunk = 13
+				}
+			}
+			return c.Close(ctx)
+		},
+		func(ctx *via.Ctx, c *Conn) error {
+			var got []byte
+			buf := make([]byte, 7777)
+			for {
+				n, err := c.Read(ctx, buf)
+				got = append(got, buf[:n]...)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return err
+				}
+			}
+			if len(got) != total {
+				t.Fatalf("got %d bytes, want %d", len(got), total)
+			}
+			if !bytes.Equal(got, want) {
+				t.Error("stream corrupted")
+			}
+			return nil
+		})
+}
+
+func TestStreamWindowStallsSlowReader(t *testing.T) {
+	// A tiny window with a reader that sleeps: the writer must stall on
+	// flow control, not lose data or break the connection.
+	cfg := Config{Segment: 1024, RingSlots: 2}
+	const total = 64 * 1024
+	want := pattern(total, 9)
+	var stalls uint64
+	runPairConn(t, provider.CLAN(), cfg,
+		func(ctx *via.Ctx, c *Conn) error {
+			if _, err := c.Write(ctx, want); err != nil {
+				return err
+			}
+			stalls = c.WindowStalls
+			return c.Close(ctx)
+		},
+		func(ctx *via.Ctx, c *Conn) error {
+			got := 0
+			buf := make([]byte, 3000)
+			for got < total {
+				ctx.Sleep(200 * sim.Microsecond) // slow consumer
+				n, err := c.Read(ctx, buf)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < n; i++ {
+					if buf[i] != want[got+i] {
+						t.Fatalf("byte %d corrupted", got+i)
+					}
+				}
+				got += n
+			}
+			return nil
+		})
+	if stalls == 0 {
+		t.Fatal("writer never stalled on the window; flow control inert")
+	}
+}
+
+func TestStreamBidirectional(t *testing.T) {
+	// Full-duplex traffic: both sides write 40KB while reading 40KB.
+	const total = 40 * 1024
+	do := func(seed byte) func(ctx *via.Ctx, c *Conn) error {
+		return func(ctx *via.Ctx, c *Conn) error {
+			out := pattern(total, seed)
+			in := make([]byte, 0, total)
+			buf := make([]byte, 4096)
+			sent := 0
+			for sent < total || len(in) < total {
+				if sent < total {
+					n := 4096
+					if sent+n > total {
+						n = total - sent
+					}
+					if _, err := c.Write(ctx, out[sent:sent+n]); err != nil {
+						return err
+					}
+					sent += n
+				}
+				if len(in) < total {
+					n, err := c.Read(ctx, buf)
+					if err != nil && err != io.EOF {
+						return err
+					}
+					in = append(in, buf[:n]...)
+				}
+			}
+			other := seed ^ 0xFF
+			if !bytes.Equal(in, pattern(total, other)) {
+				t.Error("bidirectional stream corrupted")
+			}
+			return nil
+		}
+	}
+	runPairConn(t, provider.BVIA(), DefaultConfig(), do(0x00), do(0xFF))
+}
+
+func TestStreamClosedSemantics(t *testing.T) {
+	runPairConn(t, provider.CLAN(), DefaultConfig(),
+		func(ctx *via.Ctx, c *Conn) error {
+			if err := c.Close(ctx); err != nil {
+				return err
+			}
+			if _, err := c.Write(ctx, []byte("x")); !errors.Is(err, ErrClosed) {
+				t.Errorf("write after close: %v", err)
+			}
+			if _, err := c.Read(ctx, make([]byte, 1)); !errors.Is(err, ErrClosed) {
+				t.Errorf("read after close: %v", err)
+			}
+			if err := c.Close(ctx); !errors.Is(err, ErrClosed) {
+				t.Errorf("double close: %v", err)
+			}
+			return nil
+		},
+		func(ctx *via.Ctx, c *Conn) error {
+			if _, err := readFull(ctx, c, 1); err != io.EOF {
+				t.Errorf("want EOF, got %v", err)
+			}
+			return nil
+		})
+}
+
+func TestStreamZeroReadAndSegmentClamp(t *testing.T) {
+	cfg := Config{Segment: 1 << 20, RingSlots: 2} // clamped to max transfer
+	runPairConn(t, provider.BVIA(), cfg,
+		func(ctx *via.Ctx, c *Conn) error {
+			if n, err := c.Read(ctx, nil); n != 0 || err != nil {
+				t.Errorf("zero read: %d %v", n, err)
+			}
+			if c.cfg.Segment+headerBytes > 32*1024 {
+				t.Errorf("segment not clamped: %d", c.cfg.Segment)
+			}
+			_, err := c.Write(ctx, pattern(50000, 1)) // spans several segments
+			if err != nil {
+				return err
+			}
+			return c.Close(ctx)
+		},
+		func(ctx *via.Ctx, c *Conn) error {
+			got, err := readFull(ctx, c, 50000)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, pattern(50000, 1)) {
+				t.Error("clamped-segment stream corrupted")
+			}
+			return nil
+		})
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	run := func() uint64 {
+		sys := via.NewSystem(provider.MVIA(), 2, 3)
+		var endAt uint64
+		sys.Go(0, "d", func(ctx *via.Ctx) {
+			c, err := Dial(ctx, 1, "svc", DefaultConfig())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c.Write(ctx, pattern(20000, 5))
+			c.Close(ctx)
+			endAt = uint64(ctx.Now())
+		})
+		sys.Go(1, "l", func(ctx *via.Ctx) {
+			c, err := Listen(ctx, "svc", DefaultConfig())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			readFull(ctx, c, 20000)
+		})
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return endAt
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %d vs %d", a, b)
+	}
+}

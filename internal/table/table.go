@@ -1,0 +1,184 @@
+// Package table renders benchmark results as aligned text tables, CSV,
+// and quick ASCII charts for terminal inspection.
+package table
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-oriented text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// values with enough precision to be meaningful.
+func FormatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// RenderCSV writes the table as CSV (no quoting: benchmark cells never
+// contain commas).
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Headers, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Chart draws a crude log-x ASCII chart of one or more named series for
+// terminal inspection of curve shapes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name string
+	xs   []float64
+	ys   []float64
+}
+
+// NewChart returns an empty chart.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends a series.
+func (c *Chart) Add(name string, xs, ys []float64) {
+	c.series = append(c.series, chartSeries{name: name, xs: xs, ys: ys})
+}
+
+// Render draws the chart with one mark per series.
+func (c *Chart) Render(w io.Writer, width, height int) {
+	if len(c.series) == 0 {
+		return
+	}
+	marks := "ox+*#@%&"
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.xs {
+			minX, maxX = math.Min(minX, s.xs[i]), math.Max(maxX, s.xs[i])
+			minY, maxY = math.Min(minY, s.ys[i]), math.Max(maxY, s.ys[i])
+		}
+	}
+	if minY > 0 {
+		minY = 0
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	xpos := func(x float64) int {
+		// Log scale when the x range spans more than a decade (message
+		// sizes); linear otherwise.
+		if minX > 0 && maxX/minX > 10 {
+			return int(math.Log(x/minX) / math.Log(maxX/minX) * float64(width-1))
+		}
+		return int((x - minX) / (maxX - minX) * float64(width-1))
+	}
+	for si, s := range c.series {
+		m := marks[si%len(marks)]
+		for i := range s.xs {
+			col := xpos(s.xs[i])
+			row := height - 1 - int((s.ys[i]-minY)/(maxY-minY)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = m
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s (y: %s, max %.4g; x: %s, %.4g..%.4g)\n", c.Title, c.YLabel, maxY, c.XLabel, minX, maxX)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", string(row))
+	}
+	var legend []string
+	for si, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], s.name))
+	}
+	fmt.Fprintln(w, strings.Join(legend, "  "))
+}

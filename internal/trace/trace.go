@@ -1,0 +1,74 @@
+// Package trace records simulation events for debugging and inspection.
+// It implements sim.Tracer, buffering lines in memory with an optional
+// cap, and can replay them to a writer or filter by substring.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"vibe/internal/sim"
+)
+
+// Entry is one recorded event.
+type Entry struct {
+	At   sim.Time
+	What string
+}
+
+// Recorder buffers trace entries. The zero value is unbounded; set Limit
+// to cap memory (oldest entries are dropped).
+type Recorder struct {
+	Limit   int
+	entries []Entry
+	dropped uint64
+}
+
+var _ sim.Tracer = (*Recorder)(nil)
+
+// Trace implements sim.Tracer.
+func (r *Recorder) Trace(at sim.Time, what string) {
+	if r.Limit > 0 && len(r.entries) >= r.Limit {
+		copy(r.entries, r.entries[1:])
+		r.entries = r.entries[:len(r.entries)-1]
+		r.dropped++
+	}
+	r.entries = append(r.entries, Entry{At: at, What: what})
+}
+
+// Entries returns the buffered entries, oldest first.
+func (r *Recorder) Entries() []Entry { return r.entries }
+
+// Dropped reports entries discarded due to the Limit.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Len reports the number of buffered entries.
+func (r *Recorder) Len() int { return len(r.entries) }
+
+// Reset discards all buffered entries.
+func (r *Recorder) Reset() {
+	r.entries = r.entries[:0]
+	r.dropped = 0
+}
+
+// Filter returns the entries whose text contains substr.
+func (r *Recorder) Filter(substr string) []Entry {
+	var out []Entry
+	for _, e := range r.entries {
+		if strings.Contains(e.What, substr) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes all entries to w, one per line.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.entries {
+		fmt.Fprintf(w, "%12v  %s\n", e.At, e.What)
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier entries dropped)\n", r.dropped)
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"vibe/internal/sim"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	r.Trace(10, "a")
+	r.Trace(20, "bb")
+	if r.Len() != 2 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	es := r.Entries()
+	if es[0].At != 10 || es[1].What != "bb" {
+		t.Fatalf("entries = %v", es)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := Recorder{Limit: 2}
+	r.Trace(1, "a")
+	r.Trace(2, "b")
+	r.Trace(3, "c")
+	if r.Len() != 2 || r.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	if r.Entries()[0].What != "b" || r.Entries()[1].What != "c" {
+		t.Fatalf("wrong survivors: %v", r.Entries())
+	}
+}
+
+func TestRecorderFilterAndDump(t *testing.T) {
+	var r Recorder
+	r.Trace(1, "send pkt 1")
+	r.Trace(2, "recv pkt 1")
+	r.Trace(3, "send pkt 2")
+	if got := r.Filter("send"); len(got) != 2 {
+		t.Fatalf("filter found %d", len(got))
+	}
+	var b strings.Builder
+	r.Dump(&b)
+	if strings.Count(b.String(), "\n") != 3 {
+		t.Fatalf("dump = %q", b.String())
+	}
+	r2 := Recorder{Limit: 1}
+	r2.Trace(1, "x")
+	r2.Trace(2, "y")
+	b.Reset()
+	r2.Dump(&b)
+	if !strings.Contains(b.String(), "dropped") {
+		t.Fatal("dump does not report drops")
+	}
+}
+
+func TestRecorderWithEngine(t *testing.T) {
+	e := sim.NewEngine(1)
+	var r Recorder
+	e.SetTracer(&r)
+	e.At(5, func() { e.Tracef("tick %d", 1) })
+	e.MustRun()
+	if r.Len() != 1 || r.Entries()[0].At != 5 || r.Entries()[0].What != "tick 1" {
+		t.Fatalf("engine trace = %v", r.Entries())
+	}
+}

@@ -1,0 +1,93 @@
+package via
+
+import "fmt"
+
+// ReliabilityLevel selects the transport guarantee of a VI connection, as
+// defined by the VIA specification.
+type ReliabilityLevel uint8
+
+const (
+	// Unreliable delivery: messages may be lost; sends complete once the
+	// data is on the wire.
+	Unreliable ReliabilityLevel = iota
+	// ReliableDelivery: the sender's NIC retransmits until the peer NIC
+	// acknowledges arrival; a send completes when delivery is guaranteed.
+	ReliableDelivery
+	// ReliableReception: like ReliableDelivery, but a send completes only
+	// after the data has been placed in the target's memory.
+	ReliableReception
+)
+
+func (r ReliabilityLevel) String() string {
+	switch r {
+	case Unreliable:
+		return "unreliable"
+	case ReliableDelivery:
+		return "reliable-delivery"
+	case ReliableReception:
+		return "reliable-reception"
+	}
+	return fmt.Sprintf("reliability(%d)", uint8(r))
+}
+
+// Reliable reports whether the level runs the ack/retransmit protocol.
+func (r ReliabilityLevel) Reliable() bool { return r != Unreliable }
+
+// ViAttributes parameterize VI creation, mirroring VIP_VI_ATTRIBUTES.
+type ViAttributes struct {
+	// Reliability selects the transport guarantee. The provider must
+	// support it (see NicAttributes.ReliabilitySupported).
+	Reliability ReliabilityLevel
+
+	// EnableRdmaWrite / EnableRdmaRead request RDMA capability on the VI.
+	EnableRdmaWrite bool
+	EnableRdmaRead  bool
+
+	// MaxTransferSize optionally lowers the provider's maximum transfer
+	// size for this VI; zero means "provider maximum".
+	MaxTransferSize int
+}
+
+// ViState is the lifecycle state of a VI, per the VIA connection state
+// machine.
+type ViState int
+
+const (
+	// ViIdle: created, not connected. Receives may be pre-posted.
+	ViIdle ViState = iota
+	// ViConnected: a connection to a remote VI is established.
+	ViConnected
+	// ViDisconnected: the connection was torn down.
+	ViDisconnected
+	// ViError: the reliable transport failed; queues are flushed.
+	ViError
+	// ViDestroyed: the VI has been destroyed.
+	ViDestroyed
+)
+
+func (s ViState) String() string {
+	switch s {
+	case ViIdle:
+		return "idle"
+	case ViConnected:
+		return "connected"
+	case ViDisconnected:
+		return "disconnected"
+	case ViError:
+		return "error"
+	case ViDestroyed:
+		return "destroyed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// NicAttributes describe a provider, mirroring VIP_NIC_ATTRIBUTES.
+type NicAttributes struct {
+	Name                 string
+	MaxTransferSize      int
+	MaxSegments          int
+	WireMTU              int
+	RdmaWriteSupported   bool
+	RdmaReadSupported    bool
+	ReliabilitySupported []ReliabilityLevel
+}

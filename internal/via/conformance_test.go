@@ -1,0 +1,305 @@
+package via
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vibe/internal/provider"
+)
+
+// The conformance matrix runs the core VIA behaviours against every
+// provider model, including the extended FirmVIA and IBA approximations,
+// so a new model cannot silently break spec semantics.
+
+func TestConformanceMatrix(t *testing.T) {
+	for _, m := range provider.Extended() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Run("send-recv-integrity", func(t *testing.T) { confIntegrity(t, m, ViAttributes{}, Polling) })
+			t.Run("blocking", func(t *testing.T) { confIntegrity(t, m, ViAttributes{}, Blocking) })
+			if m.Supports(1) {
+				t.Run("reliable-delivery", func(t *testing.T) {
+					confIntegrity(t, m, ViAttributes{Reliability: ReliableDelivery}, Polling)
+				})
+			}
+			if m.SupportsRDMAWrite {
+				t.Run("rdma-write", func(t *testing.T) { confRdma(t, m) })
+			}
+			t.Run("cq", func(t *testing.T) { confCQ(t, m) })
+		})
+	}
+}
+
+// Polling/Blocking selects the completion style in the conformance runs.
+const (
+	Polling = iota
+	Blocking
+)
+
+func confIntegrity(t *testing.T, m *provider.Model, attrs ViAttributes, mode int) {
+	t.Helper()
+	const n = 10000
+	wait := func(ctx *Ctx, vi *Vi, recv bool) (*Descriptor, error) {
+		if recv {
+			if mode == Blocking {
+				return vi.RecvWait(ctx, tmo)
+			}
+			return vi.RecvWaitPoll(ctx)
+		}
+		if mode == Blocking {
+			return vi.SendWait(ctx, tmo)
+		}
+		return vi.SendWaitPoll(ctx)
+	}
+	env := newPair(t, m, attrs,
+		func(ctx *Ctx, vi *Vi, nic *Nic) {
+			buf := ctx.Malloc(n)
+			h, _ := nic.RegisterMem(ctx, buf)
+			buf.FillPattern(11)
+			if err := vi.PostSend(ctx, SimpleSend(buf, h, n)); err != nil {
+				t.Error(err)
+				return
+			}
+			if d, err := wait(ctx, vi, false); err != nil || d.Status != StatusSuccess {
+				t.Errorf("send: %v %v", err, d)
+			}
+		},
+		func(ctx *Ctx, vi *Vi, nic *Nic) {
+			buf := ctx.Malloc(n)
+			h, _ := nic.RegisterMem(ctx, buf)
+			vi.PostRecv(ctx, SimpleRecv(buf, h, n))
+			d, err := wait(ctx, vi, true)
+			if err != nil || d.Status != StatusSuccess || d.Length != n {
+				t.Errorf("recv: %v %v", err, d)
+				return
+			}
+			if err := buf.CheckPattern(11, n); err != nil {
+				t.Errorf("%s corrupted: %v", m.Name, err)
+			}
+		})
+	env.run()
+}
+
+func confRdma(t *testing.T, m *provider.Model) {
+	t.Helper()
+	const n = 6000
+	attrs := ViAttributes{EnableRdmaWrite: true}
+	var (
+		remoteH MemHandle
+		tgt     *bufExport
+		ready   bool
+	)
+	env := newPair(t, m, attrs,
+		func(ctx *Ctx, vi *Vi, nic *Nic) {
+			src := ctx.Malloc(n)
+			h, _ := nic.RegisterMem(ctx, src)
+			src.FillPattern(13)
+			for !ready {
+				ctx.Sleep(10 * 1000)
+			}
+			d := &Descriptor{
+				Op:     OpRdmaWrite,
+				Segs:   []DataSegment{{Addr: src.Addr(), Handle: h, Length: n}},
+				Remote: &AddressSegment{Addr: tgt.addr, Handle: remoteH},
+			}
+			if err := vi.PostSend(ctx, d); err != nil {
+				t.Error(err)
+				return
+			}
+			vi.SendWaitPoll(ctx)
+			ctx.Sleep(2_000_000)
+			tgt.done = true
+		},
+		func(ctx *Ctx, vi *Vi, nic *Nic) {
+			dst := ctx.Malloc(n)
+			h, _ := nic.RegisterMem(ctx, dst)
+			remoteH = h
+			tgt = &bufExport{addr: dst.Addr()}
+			ready = true
+			for !tgt.done {
+				ctx.Sleep(10 * 1000)
+			}
+			if err := dst.CheckPattern(13, n); err != nil {
+				t.Errorf("%s rdma corrupted: %v", m.Name, err)
+			}
+		})
+	env.run()
+}
+
+func confCQ(t *testing.T, m *provider.Model) {
+	t.Helper()
+	sys := NewSystem(m, 2, 1)
+	sys.Go(0, "c", func(ctx *Ctx) {
+		nic := ctx.OpenNic()
+		vi, _ := nic.CreateVi(ctx, ViAttributes{}, nil, nil)
+		if err := vi.ConnectRequest(ctx, 1, "cq", tmo); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := ctx.Malloc(128)
+		h, _ := nic.RegisterMem(ctx, buf)
+		vi.PostSend(ctx, SimpleSend(buf, h, 128))
+		vi.SendWaitPoll(ctx)
+	})
+	sys.Go(1, "s", func(ctx *Ctx) {
+		nic := ctx.OpenNic()
+		cq, err := nic.CreateCQ(ctx, 8)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		vi, _ := nic.CreateVi(ctx, ViAttributes{}, nil, cq)
+		buf := ctx.Malloc(128)
+		h, _ := nic.RegisterMem(ctx, buf)
+		vi.PostRecv(ctx, SimpleRecv(buf, h, 128))
+		req, err := nic.ConnectWait(ctx, "cq", tmo)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Accept(ctx, vi)
+		c, err := cq.WaitPoll(ctx)
+		if err != nil || !c.IsRecv || c.Vi != vi {
+			t.Errorf("%s cq: %v %+v", m.Name, err, c)
+			return
+		}
+		if _, ok := vi.RecvDone(ctx); !ok {
+			t.Errorf("%s cq: descriptor missing", m.Name)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any sequence of message sizes within the provider's
+// maximum, a ping-pong round trip preserves every payload bit-for-bit.
+func TestRoundTripIntegrityProperty(t *testing.T) {
+	m := provider.CLAN()
+	f := func(raw []uint16, seed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		sizes := make([]int, len(raw))
+		for i, r := range raw {
+			sizes[i] = int(r)%m.MaxTransferSize + 1
+		}
+		ok := true
+		env := newPair(t, m, ViAttributes{},
+			func(ctx *Ctx, vi *Vi, nic *Nic) {
+				buf := ctx.Malloc(m.MaxTransferSize)
+				h, _ := nic.RegisterMem(ctx, buf)
+				for i, n := range sizes {
+					buf.FillPattern(seed + byte(i))
+					if err := vi.PostRecv(ctx, SimpleRecv(buf, h, m.MaxTransferSize)); err != nil {
+						ok = false
+						return
+					}
+					if err := vi.PostSend(ctx, SimpleSend(buf, h, n)); err != nil {
+						ok = false
+						return
+					}
+					if _, err := vi.SendWaitPoll(ctx); err != nil {
+						ok = false
+						return
+					}
+					d, err := vi.RecvWaitPoll(ctx)
+					if err != nil || d.Length != n {
+						ok = false
+						return
+					}
+					// The echo must round-trip the pattern exactly.
+					if err := buf.CheckPattern(seed+byte(i), n); err != nil {
+						ok = false
+						return
+					}
+				}
+			},
+			func(ctx *Ctx, vi *Vi, nic *Nic) {
+				buf := ctx.Malloc(m.MaxTransferSize)
+				h, _ := nic.RegisterMem(ctx, buf)
+				if err := vi.PostRecv(ctx, SimpleRecv(buf, h, m.MaxTransferSize)); err != nil {
+					ok = false
+					return
+				}
+				for i := range sizes {
+					d, err := vi.RecvWaitPoll(ctx)
+					if err != nil {
+						ok = false
+						return
+					}
+					if i+1 < len(sizes) {
+						if err := vi.PostRecv(ctx, SimpleRecv(buf, h, m.MaxTransferSize)); err != nil {
+							ok = false
+							return
+						}
+					}
+					if err := vi.PostSend(ctx, SimpleSend(buf, h, d.Length)); err != nil {
+						ok = false
+						return
+					}
+					if _, err := vi.SendWaitPoll(ctx); err != nil {
+						ok = false
+						return
+					}
+				}
+			})
+		env.run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fabric counters always balance: delivered + dropped == sent.
+func TestFabricAccountingProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) > 5 {
+			sizes = sizes[:5]
+		}
+		m := provider.BVIA()
+		sys := NewSystem(m, 2, 1)
+		sys.Go(0, "c", func(ctx *Ctx) {
+			nic := ctx.OpenNic()
+			vi, _ := nic.CreateVi(ctx, ViAttributes{}, nil, nil)
+			if err := vi.ConnectRequest(ctx, 1, "p", tmo); err != nil {
+				return
+			}
+			buf := ctx.Malloc(m.MaxTransferSize)
+			h, _ := nic.RegisterMem(ctx, buf)
+			for _, s := range sizes {
+				n := int(s)%m.MaxTransferSize + 1
+				vi.PostSend(ctx, SimpleSend(buf, h, n))
+				vi.SendWaitPoll(ctx)
+			}
+		})
+		sys.Go(1, "s", func(ctx *Ctx) {
+			nic := ctx.OpenNic()
+			vi, _ := nic.CreateVi(ctx, ViAttributes{}, nil, nil)
+			buf := ctx.Malloc(m.MaxTransferSize)
+			h, _ := nic.RegisterMem(ctx, buf)
+			for range sizes {
+				vi.PostRecv(ctx, SimpleRecv(buf, h, m.MaxTransferSize))
+			}
+			req, err := nic.ConnectWait(ctx, "p", tmo)
+			if err != nil {
+				return
+			}
+			req.Accept(ctx, vi)
+			for range sizes {
+				vi.RecvWaitPoll(ctx)
+			}
+		})
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		return sys.Net.Delivered+sys.Net.Dropped == sys.Net.Sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

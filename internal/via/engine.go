@@ -1,0 +1,673 @@
+package via
+
+import (
+	"vibe/internal/fabric"
+	"vibe/internal/nicsim"
+	"vibe/internal/provider"
+	"vibe/internal/sim"
+)
+
+// sendRef links an in-flight wire packet back to the descriptor it
+// belongs to. desc is non-nil only on the packet whose acknowledgment
+// completes the descriptor (the final fragment).
+type sendRef struct {
+	vi    *Vi
+	desc  *Descriptor
+	total int
+	pkt   *wirePacket
+}
+
+// send injects a packet into the fabric and returns the instant it has
+// finished serializing out of this adapter.
+func (n *Nic) send(pkt *wirePacket, dst fabric.NodeID) sim.Time {
+	return n.host.sys.Net.Send(n.host.id, dst, pkt.wireSize(n.model.AckBytes), pkt)
+}
+
+// sendCtl is send for connection-management packets (fire and forget).
+func (n *Nic) sendCtl(pkt *wirePacket, dst fabric.NodeID) {
+	n.send(pkt, dst)
+}
+
+// xlateCost is the NIC-side translation cost for the given pages,
+// according to the provider's translation design.
+func (n *Nic) xlateCost(pages []uint64) sim.Duration {
+	m := n.model
+	switch {
+	case m.TranslationAt == provider.TranslateAtHost:
+		return 0 // host already translated while posting
+	case m.TablesAt == provider.TablesInNICMemory:
+		return sim.Duration(len(pages)) * m.XlateNICTable
+	default:
+		var d sim.Duration
+		for _, pg := range pages {
+			if n.tlb.Lookup(pg) {
+				d += m.XlateHit
+			} else {
+				d += m.XlateMissHostTable
+			}
+		}
+		return d
+	}
+}
+
+// --- Send engine ---
+
+// sendEngine is the NIC's transmit processor: it picks up doorbells and
+// moves descriptors onto the wire.
+func (n *Nic) sendEngine(p *sim.Proc) {
+	for {
+		db := n.doorbells.Pop(p).(*doorbell)
+		m := n.model
+		if m.PollSweep && n.openVIs > 1 {
+			// Firmware sweeps every open VI's send structure to find
+			// work — the Berkeley VIA behaviour behind the paper's
+			// multiple-VI sensitivity.
+			p.Sleep(sim.Duration(n.openVIs-1) * m.PollPerVI)
+		}
+		p.Sleep(m.DoorbellProc + m.DescFetch)
+		n.processSend(p, db.vi, db.desc)
+		n.SendsProcessed++
+	}
+}
+
+func (n *Nic) processSend(p *sim.Proc, vi *Vi, d *Descriptor) {
+	if vi.state != ViConnected || d.done {
+		// Disconnected (or flushed) between post and pickup.
+		if !d.done {
+			n.completeSend(vi, d, StatusFlushed, 0)
+		}
+		return
+	}
+	switch d.Op {
+	case OpRdmaRead:
+		n.sendReadRequest(p, vi, d)
+	default:
+		n.sendData(p, vi, d)
+	}
+}
+
+// sendData moves a send or RDMA-write descriptor onto the wire as MTU
+// fragments, translating and DMAing each.
+func (n *Nic) sendData(p *sim.Proc, vi *Vi, d *Descriptor) {
+	m := n.model
+	conn := vi.conn
+	runs, err := resolveSegs(n.host.AS, d.Segs)
+	if err != nil {
+		n.completeSend(vi, d, StatusProtectionError, 0)
+		return
+	}
+	total := totalLen(runs)
+	frags := nicsim.Fragments(total, m.WireMTU)
+	n.nextMsgID++
+	msgID := n.nextMsgID
+	reliable := vi.attrs.Reliability.Reliable()
+
+	var lastTx sim.Time
+	for _, f := range frags {
+		p.Sleep(m.PerFragment)
+		if f.Size > 0 {
+			p.Sleep(n.xlateCost(pagesIn(runs, f.Offset, f.Size)))
+			p.Sleep(sim.Duration(f.Size) * m.DMAPerByte)
+		}
+		data := make([]byte, f.Size)
+		gather(runs, f.Offset, data)
+		pkt := &wirePacket{
+			kind:     pktData,
+			srcVi:    vi.id,
+			dstVi:    conn.peerVi,
+			msgID:    msgID,
+			frag:     f,
+			msgTotal: total,
+			data:     data,
+		}
+		if d.Op == OpRdmaWrite {
+			pkt.kind = pktRdmaWrite
+			pkt.remoteAddr = d.Remote.Addr
+			pkt.remoteHandle = d.Remote.Handle
+		}
+		if d.HasImmediate && f.Last {
+			pkt.immediate, pkt.hasImmediate = d.ImmediateData, true
+		}
+		if reliable {
+			ref := &sendRef{vi: vi, total: total, pkt: pkt}
+			if f.Last {
+				ref.desc = d
+			}
+			pend := conn.window.Add(ref, p.Now())
+			pkt.seq, pkt.hasSeq = pend.Seq, true
+		}
+		lastTx = n.send(pkt, conn.peerNode)
+	}
+
+	if reliable {
+		n.armRTO(vi)
+		return
+	}
+	// Unreliable sends complete once the final fragment has left the
+	// adapter and the NIC has written the status back.
+	doneAt := lastTx.Add(m.CompletionWrite)
+	n.host.sys.Eng.At(doneAt, func() {
+		n.completeSend(vi, d, StatusSuccess, total)
+	})
+}
+
+// sendReadRequest issues an RDMA read: a small request packet; the data
+// comes back as read-response packets handled by the receive engine.
+func (n *Nic) sendReadRequest(p *sim.Proc, vi *Vi, d *Descriptor) {
+	m := n.model
+	conn := vi.conn
+	runs, err := resolveSegs(n.host.AS, d.Segs)
+	if err != nil {
+		n.completeSend(vi, d, StatusProtectionError, 0)
+		return
+	}
+	p.Sleep(m.PerFragment)
+	n.nextReadID++
+	id := n.nextReadID
+	conn.outstandingReads[id] = &readState{desc: d, runs: runs}
+	pkt := &wirePacket{
+		kind:         pktRdmaReadReq,
+		srcVi:        vi.id,
+		dstVi:        conn.peerVi,
+		readReq:      id,
+		msgTotal:     totalLen(runs),
+		remoteAddr:   d.Remote.Addr,
+		remoteHandle: d.Remote.Handle,
+	}
+	pend := conn.window.Add(&sendRef{vi: vi, pkt: pkt}, p.Now())
+	pkt.seq, pkt.hasSeq = pend.Seq, true
+	n.send(pkt, conn.peerNode)
+	n.armRTO(vi)
+}
+
+// completeSend finishes a send-queue descriptor exactly once.
+func (n *Nic) completeSend(vi *Vi, d *Descriptor, st Status, length int) {
+	if d.done {
+		return
+	}
+	vi.sendQ.complete(d, st, length)
+}
+
+// --- Receive engine ---
+
+// recvEngine is the NIC's receive processor: it drains the fabric inbox
+// and dispatches by packet kind.
+func (n *Nic) recvEngine(p *sim.Proc) {
+	inbox := n.host.sys.Net.Inbox(n.host.id)
+	for {
+		del := inbox.Pop(p).(fabric.Delivery)
+		pkt := del.Payload.(*wirePacket)
+		switch pkt.kind {
+		case pktData:
+			n.handleData(p, del.Src, pkt)
+		case pktRdmaWrite:
+			n.handleRdmaWrite(p, del.Src, pkt)
+		case pktRdmaReadReq:
+			n.handleReadReq(p, del.Src, pkt)
+		case pktRdmaReadResp:
+			n.handleReadResp(p, del.Src, pkt)
+		case pktAck:
+			n.handleAck(p, del.Src, pkt)
+		case pktErrAck:
+			n.handleErrAck(p, del.Src, pkt)
+		case pktConnReq:
+			n.pendingConns = append(n.pendingConns, &ConnRequest{
+				nic:         n,
+				disc:        pkt.disc,
+				clientNode:  del.Src,
+				clientVi:    pkt.srcVi,
+				reliability: pkt.reliability,
+			})
+			n.connArrived.Broadcast()
+		case pktConnAccept:
+			if vi := n.vis[pkt.dstVi]; vi != nil && vi.state == ViIdle {
+				vi.conn = newConnState(del.Src, pkt.srcVi)
+				vi.state = ViConnected
+				vi.connAccepted = true
+				vi.connReply.Broadcast()
+			}
+		case pktConnReject:
+			if vi := n.vis[pkt.dstVi]; vi != nil && vi.state == ViIdle {
+				vi.connRejected = true
+				vi.connReply.Broadcast()
+			}
+		case pktDisconnect:
+			if vi := n.vis[pkt.dstVi]; vi != nil && vi.state == ViConnected &&
+				vi.conn.peerNode == del.Src && vi.conn.peerVi == pkt.srcVi {
+				vi.teardown(ViDisconnected)
+			}
+		}
+	}
+}
+
+// lookupVi validates that an inbound data-path packet targets a live
+// connection from the claimed source.
+func (n *Nic) lookupVi(src fabric.NodeID, pkt *wirePacket) *Vi {
+	vi := n.vis[pkt.dstVi]
+	if vi == nil || vi.state != ViConnected || vi.conn.peerNode != src || vi.conn.peerVi != pkt.srcVi {
+		return nil
+	}
+	return vi
+}
+
+// seqCheck runs receiver-side reliability for a data-path packet. It
+// reports whether the packet should be processed; duplicates are re-acked
+// and dropped, gaps are dropped silently (the sender retransmits).
+func (n *Nic) seqCheck(p *sim.Proc, vi *Vi, pkt *wirePacket) bool {
+	if !vi.attrs.Reliability.Reliable() || !pkt.hasSeq {
+		return true
+	}
+	accept, dup := vi.conn.recvSeq.Accept(pkt.seq)
+	if dup {
+		n.sendAck(p, vi)
+		return false
+	}
+	return accept
+}
+
+// sendAck emits a cumulative acknowledgment for the VI's connection.
+func (n *Nic) sendAck(p *sim.Proc, vi *Vi) {
+	cum, ok := vi.conn.recvSeq.CumAck()
+	if !ok {
+		return
+	}
+	p.Sleep(n.model.AckProcessing)
+	n.send(&wirePacket{
+		kind:   pktAck,
+		srcVi:  vi.id,
+		dstVi:  vi.conn.peerVi,
+		ackSeq: cum,
+	}, vi.conn.peerNode)
+}
+
+func (n *Nic) handleData(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
+	m := n.model
+	p.Sleep(m.PerFragmentRecv)
+	vi := n.lookupVi(src, pkt)
+	if vi == nil {
+		return
+	}
+	conn := vi.conn
+	if !n.seqCheck(p, vi, pkt) {
+		return
+	}
+	// Reliable Delivery acknowledges on arrival at the NIC; Reliable
+	// Reception only after the data is in host memory.
+	if vi.attrs.Reliability == ReliableDelivery {
+		n.sendAck(p, vi)
+	}
+
+	if conn.dropping {
+		if pkt.msgID == conn.dropMsgID {
+			if pkt.frag.Last {
+				conn.dropping = false
+			}
+			if vi.attrs.Reliability == ReliableReception {
+				n.sendAck(p, vi)
+			}
+			return
+		}
+		// A new message begins; the dropped one's tail never arrived.
+		conn.dropping = false
+	}
+
+	if conn.curRecv == nil {
+		d := vi.recvQ.consume()
+		if d == nil {
+			n.DroppedNoDesc++
+			if vi.attrs.Reliability.Reliable() {
+				// A reliable connection with no posted descriptor is a
+				// fatal application error per the VIA spec: the
+				// connection breaks.
+				n.failConn(vi)
+				return
+			}
+			conn.dropping = true
+			conn.dropMsgID = pkt.msgID
+			if pkt.frag.Last {
+				conn.dropping = false
+			}
+			return
+		}
+		runs, err := resolveSegs(n.host.AS, d.Segs)
+		if err != nil || pkt.msgTotal > totalLen(runs) {
+			st := StatusLengthError
+			if err != nil {
+				st = StatusProtectionError
+			}
+			n.finishRecv(vi, d, st, pkt.msgTotal, 0)
+			conn.dropping = true
+			conn.dropMsgID = pkt.msgID
+			if pkt.frag.Last {
+				conn.dropping = false
+			}
+			if vi.attrs.Reliability == ReliableReception {
+				n.sendAck(p, vi)
+			}
+			return
+		}
+		conn.curRecv, conn.curRecvRuns = d, runs
+	}
+
+	done, ok := conn.reasm.Accept(pkt.msgID, pkt.frag, pkt.msgTotal)
+	var tailCopy sim.Duration
+	if ok && pkt.frag.Size > 0 {
+		p.Sleep(n.xlateCost(pagesIn(conn.curRecvRuns, pkt.frag.Offset, pkt.frag.Size)))
+		p.Sleep(sim.Duration(pkt.frag.Size) * m.DMAPerByte)
+		scatter(conn.curRecvRuns, pkt.frag.Offset, pkt.data)
+		if m.HostCopies {
+			// Kernel-emulated VIA (M-VIA) copies each arriving fragment
+			// from the kernel buffer to the user buffer. The copy burns
+			// host CPU concurrently with the NIC handling the next
+			// fragment; only the final fragment's copy delays the
+			// application-visible completion.
+			tailCopy = sim.Duration(pkt.frag.Size) * m.CopyPerByte
+			n.host.CPU.Charge(tailCopy)
+		}
+	}
+	if vi.attrs.Reliability == ReliableReception {
+		n.sendAck(p, vi)
+	}
+	if done {
+		d := conn.curRecv
+		conn.curRecv, conn.curRecvRuns = nil, nil
+		if pkt.hasImmediate {
+			d.Immediate, d.GotImmediate = pkt.immediate, true
+		}
+		n.finishRecv(vi, d, StatusSuccess, pkt.msgTotal, tailCopy)
+	}
+}
+
+// finishRecv completes a receive descriptor, optionally delayed (the
+// kernel copy of the final fragment on host-copy providers).
+func (n *Nic) finishRecv(vi *Vi, d *Descriptor, st Status, length int, delay sim.Duration) {
+	if delay > 0 {
+		n.host.sys.Eng.After(delay, func() {
+			if !d.done {
+				vi.recvQ.complete(d, st, length)
+			}
+		})
+		return
+	}
+	if !d.done {
+		vi.recvQ.complete(d, st, length)
+	}
+}
+
+func (n *Nic) handleRdmaWrite(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
+	m := n.model
+	p.Sleep(m.PerFragmentRecv)
+	vi := n.lookupVi(src, pkt)
+	if vi == nil {
+		return
+	}
+	conn := vi.conn
+	if !n.seqCheck(p, vi, pkt) {
+		return
+	}
+
+	// Validate the remote range before acknowledging anything: a
+	// protection error must surface as an error, not a successful
+	// delivery ack.
+	addr := pkt.remoteAddr.Advance(pkt.frag.Offset)
+	if !n.checkRemote(addr, pkt.frag.Size, pkt.remoteHandle) {
+		if vi.attrs.Reliability.Reliable() {
+			n.send(&wirePacket{
+				kind:   pktErrAck,
+				srcVi:  vi.id,
+				dstVi:  conn.peerVi,
+				errSts: StatusRdmaProtError,
+				errMsg: pkt.msgID,
+			}, conn.peerNode)
+		}
+		return
+	}
+	if vi.attrs.Reliability == ReliableDelivery {
+		n.sendAck(p, vi)
+	}
+
+	done, ok := conn.rdmaReasm.Accept(pkt.msgID, pkt.frag, pkt.msgTotal)
+	if ok && pkt.frag.Size > 0 {
+		data, err := n.host.AS.Resolve(addr, pkt.frag.Size)
+		if err == nil {
+			run := []segRun{{addr: addr, data: data}}
+			p.Sleep(n.xlateCost(pagesIn(run, 0, pkt.frag.Size)))
+			p.Sleep(sim.Duration(pkt.frag.Size) * m.DMAPerByte)
+			copy(data, pkt.data)
+		}
+	}
+	if vi.attrs.Reliability == ReliableReception {
+		n.sendAck(p, vi)
+	}
+	if done && pkt.hasImmediate {
+		// RDMA write with immediate data consumes a receive descriptor.
+		d := vi.recvQ.consume()
+		if d == nil {
+			n.DroppedNoDesc++
+			if vi.attrs.Reliability.Reliable() {
+				n.failConn(vi)
+			}
+			return
+		}
+		d.Immediate, d.GotImmediate = pkt.immediate, true
+		n.finishRecv(vi, d, StatusSuccess, pkt.msgTotal, 0)
+	}
+}
+
+func (n *Nic) handleReadReq(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
+	m := n.model
+	p.Sleep(m.PerFragmentRecv)
+	vi := n.lookupVi(src, pkt)
+	if vi == nil {
+		return
+	}
+	conn := vi.conn
+	if !n.seqCheck(p, vi, pkt) {
+		return
+	}
+	n.sendAck(p, vi) // ack the request packet itself
+
+	if !n.checkRemote(pkt.remoteAddr, pkt.msgTotal, pkt.remoteHandle) {
+		n.send(&wirePacket{
+			kind:    pktErrAck,
+			srcVi:   vi.id,
+			dstVi:   conn.peerVi,
+			errSts:  StatusRdmaProtError,
+			readReq: pkt.readReq,
+		}, conn.peerNode)
+		return
+	}
+
+	// Stream the data back as read-response fragments on this NIC's send
+	// direction of the connection.
+	data, err := n.host.AS.Resolve(pkt.remoteAddr, pkt.msgTotal)
+	if err != nil {
+		return
+	}
+	runs := []segRun{{addr: pkt.remoteAddr, data: data}}
+	for _, f := range nicsim.Fragments(pkt.msgTotal, m.WireMTU) {
+		p.Sleep(m.PerFragment)
+		if f.Size > 0 {
+			p.Sleep(n.xlateCost(pagesIn(runs, f.Offset, f.Size)))
+			p.Sleep(sim.Duration(f.Size) * m.DMAPerByte)
+		}
+		buf := make([]byte, f.Size)
+		gather(runs, f.Offset, buf)
+		resp := &wirePacket{
+			kind:     pktRdmaReadResp,
+			srcVi:    vi.id,
+			dstVi:    conn.peerVi,
+			readReq:  pkt.readReq,
+			frag:     f,
+			msgTotal: pkt.msgTotal,
+			data:     buf,
+		}
+		pend := conn.window.Add(&sendRef{vi: vi, pkt: resp}, p.Now())
+		resp.seq, resp.hasSeq = pend.Seq, true
+		n.send(resp, conn.peerNode)
+	}
+	n.armRTO(vi)
+}
+
+func (n *Nic) handleReadResp(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
+	m := n.model
+	p.Sleep(m.PerFragmentRecv)
+	vi := n.lookupVi(src, pkt)
+	if vi == nil {
+		return
+	}
+	conn := vi.conn
+	if !n.seqCheck(p, vi, pkt) {
+		return
+	}
+	n.sendAck(p, vi)
+
+	rs := conn.outstandingReads[pkt.readReq]
+	if rs == nil {
+		return
+	}
+	done, ok := conn.readReasm.Accept(pkt.readReq, pkt.frag, pkt.msgTotal)
+	if ok && pkt.frag.Size > 0 {
+		p.Sleep(n.xlateCost(pagesIn(rs.runs, pkt.frag.Offset, pkt.frag.Size)))
+		p.Sleep(sim.Duration(pkt.frag.Size) * m.DMAPerByte)
+		scatter(rs.runs, pkt.frag.Offset, pkt.data)
+	}
+	if done {
+		delete(conn.outstandingReads, pkt.readReq)
+		n.completeSend(vi, rs.desc, StatusSuccess, pkt.msgTotal)
+	}
+}
+
+func (n *Nic) handleAck(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
+	p.Sleep(n.model.AckProcessing)
+	vi := n.lookupVi(src, pkt)
+	if vi == nil {
+		return
+	}
+	for _, pend := range vi.conn.window.Ack(pkt.ackSeq) {
+		ref := pend.Item.(*sendRef)
+		if ref.desc != nil {
+			n.completeSend(ref.vi, ref.desc, StatusSuccess, ref.total)
+		}
+	}
+}
+
+func (n *Nic) handleErrAck(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
+	p.Sleep(n.model.AckProcessing)
+	vi := n.lookupVi(src, pkt)
+	if vi == nil {
+		return
+	}
+	conn := vi.conn
+	if pkt.readReq != 0 {
+		if rs := conn.outstandingReads[pkt.readReq]; rs != nil {
+			delete(conn.outstandingReads, pkt.readReq)
+			n.completeSend(vi, rs.desc, pkt.errSts, 0)
+		}
+	} else {
+		for _, pend := range conn.window.Unacked() {
+			ref := pend.Item.(*sendRef)
+			if ref.desc != nil && ref.pkt.msgID == pkt.errMsg {
+				n.completeSend(vi, ref.desc, pkt.errSts, 0)
+			}
+		}
+	}
+	// A protection error on a reliable connection is fatal: the VIA
+	// transitions the connection to the error state.
+	n.failConn(vi)
+}
+
+// failConn breaks a connection: outstanding work completes with transport
+// errors, the VI enters the error state, and the peer is told to tear
+// down.
+func (n *Nic) failConn(vi *Vi) {
+	conn := vi.conn
+	for _, pend := range conn.window.Unacked() {
+		ref := pend.Item.(*sendRef)
+		if ref.desc != nil {
+			n.completeSend(vi, ref.desc, StatusTransportError, 0)
+		}
+	}
+	for id, rs := range conn.outstandingReads {
+		delete(conn.outstandingReads, id)
+		n.completeSend(vi, rs.desc, StatusTransportError, 0)
+	}
+	peerNode, peerVi := conn.peerNode, conn.peerVi
+	srcVi := vi.id
+	vi.teardown(ViError)
+	n.sendCtl(&wirePacket{kind: pktDisconnect, srcVi: srcVi, dstVi: peerVi}, peerNode)
+}
+
+// --- Retransmission ---
+
+// armRTO schedules a retransmission check for the VI's window if one is
+// not already pending.
+func (n *Nic) armRTO(vi *Vi) {
+	n.armRTOAfter(vi, n.model.RetransmitTimeout)
+}
+
+func (n *Nic) armRTOAfter(vi *Vi, d sim.Duration) {
+	conn := vi.conn
+	if conn == nil || conn.rtoArmed {
+		return
+	}
+	conn.rtoArmed = true
+	n.host.sys.Eng.After(d, func() { n.rtoFire(vi) })
+}
+
+func (n *Nic) rtoFire(vi *Vi) {
+	conn := vi.conn
+	if conn == nil {
+		return
+	}
+	conn.rtoArmed = false
+	if vi.state != ViConnected || conn.window.Outstanding() == 0 {
+		return
+	}
+	eng := n.host.sys.Eng
+	oldest := conn.window.Oldest()
+	if age := eng.Now().Sub(oldest.SentAt); age < n.model.RetransmitTimeout {
+		// Acks have been flowing; check again when the oldest packet
+		// actually times out.
+		conn.rtoArmed = true
+		eng.After(n.model.RetransmitTimeout-age, func() { n.rtoFire(vi) })
+		return
+	}
+	// Give up only after MaxRetries consecutive timeouts with no forward
+	// progress of the oldest unacked sequence; otherwise a long
+	// recovering window would accumulate spurious retry counts.
+	if oldest.Seq != conn.rtoLastSeq {
+		conn.rtoLastSeq = oldest.Seq
+		conn.rtoStalls = 0
+	}
+	conn.rtoStalls++
+	if conn.rtoStalls > n.model.MaxRetries {
+		n.failConn(vi)
+		return
+	}
+	// Go-back-N, paced: resend at most a burst's worth per timeout so a
+	// large in-flight window does not flood the wire (and re-time-out on
+	// its own retransmissions).
+	const resendBurst = 32
+	resent := 0
+	for _, pend := range conn.window.Unacked() {
+		if resent >= resendBurst {
+			break
+		}
+		pend.SentAt = eng.Now()
+		pend.Retries++
+		conn.window.Retransmits++
+		ref := pend.Item.(*sendRef)
+		n.send(ref.pkt, conn.peerNode)
+		resent++
+	}
+	// Exponential backoff while the oldest sequence makes no progress:
+	// under heavy queueing the true round trip dwarfs the base timeout,
+	// and retransmitting at the base rate would congest the link with
+	// duplicates faster than it drains.
+	backoff := n.model.RetransmitTimeout << uint(conn.rtoStalls-1)
+	if max := n.model.RetransmitTimeout << 6; backoff > max {
+		backoff = max
+	}
+	n.armRTOAfter(vi, backoff)
+}

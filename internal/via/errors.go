@@ -1,0 +1,63 @@
+package via
+
+import "errors"
+
+// Status is the completion status recorded in a descriptor's control
+// segment, mirroring the VIP_STATUS codes of the VIA specification.
+type Status int
+
+const (
+	// StatusPending marks a descriptor that has been posted but not
+	// completed. It is not a VIPL status; VIPL expresses it as
+	// VIP_NOT_DONE from the Done calls.
+	StatusPending Status = iota
+	// StatusSuccess: the operation completed successfully.
+	StatusSuccess
+	// StatusLengthError: an incoming message was larger than the posted
+	// receive descriptor's buffers.
+	StatusLengthError
+	// StatusProtectionError: a data segment referenced memory not covered
+	// by its memory handle.
+	StatusProtectionError
+	// StatusRdmaProtError: the remote address segment of an RDMA
+	// operation was rejected by the target.
+	StatusRdmaProtError
+	// StatusTransportError: the reliable transport exhausted its
+	// retransmissions; the connection is broken.
+	StatusTransportError
+	// StatusFlushed: the descriptor was flushed from its work queue by a
+	// disconnect or error before it could complete.
+	StatusFlushed
+)
+
+var statusNames = map[Status]string{
+	StatusPending:         "PENDING",
+	StatusSuccess:         "SUCCESS",
+	StatusLengthError:     "LENGTH_ERROR",
+	StatusProtectionError: "PROTECTION_ERROR",
+	StatusRdmaProtError:   "RDMA_PROTECTION_ERROR",
+	StatusTransportError:  "TRANSPORT_ERROR",
+	StatusFlushed:         "DESCRIPTOR_FLUSHED",
+}
+
+func (s Status) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return "UNKNOWN_STATUS"
+}
+
+// Errors returned by the user-facing API, mirroring VIP_ERROR_* codes.
+var (
+	ErrInvalidState    = errors.New("via: object in invalid state for operation")
+	ErrNotConnected    = errors.New("via: VI is not connected")
+	ErrTimeout         = errors.New("via: operation timed out")
+	ErrNotSupported    = errors.New("via: operation not supported by this provider")
+	ErrProtection      = errors.New("via: memory protection violation")
+	ErrInvalidHandle   = errors.New("via: invalid memory handle")
+	ErrTooManySegments = errors.New("via: descriptor exceeds provider segment limit")
+	ErrLength          = errors.New("via: transfer exceeds provider maximum transfer size")
+	ErrRejected        = errors.New("via: connection request rejected by peer")
+	ErrDestroyed       = errors.New("via: object has been destroyed")
+	ErrNoMatch         = errors.New("via: no connection request matches the discriminator")
+)

@@ -1,0 +1,146 @@
+package via
+
+import (
+	"vibe/internal/nicsim"
+	"vibe/internal/provider"
+	"vibe/internal/sim"
+)
+
+// Nic is one host's VIA network interface: the user-facing provider object
+// (mirroring the VipNic handle) plus the simulated NIC processor state.
+type Nic struct {
+	host  *Host
+	model *provider.Model
+
+	vis      map[int]*Vi
+	nextViID int
+	openVIs  int
+
+	regions    map[MemHandle]*region
+	nextHandle MemHandle
+
+	tlb *nicsim.TLB
+
+	// doorbells carries send work notifications from the host to the NIC
+	// send engine.
+	doorbells *sim.Queue
+
+	// Connection management state (see conn.go).
+	pendingConns []*ConnRequest
+	connArrived  *sim.Signal
+	nextConnReq  uint64
+
+	nextMsgID  uint64
+	nextReadID uint64
+
+	// Counters exposed for tests and reports.
+	SendsProcessed uint64
+	RecvsCompleted uint64
+	DroppedNoDesc  uint64
+}
+
+func newNic(h *Host) *Nic {
+	m := h.sys.Model
+	n := &Nic{
+		host:        h,
+		model:       m,
+		vis:         make(map[int]*Vi),
+		regions:     make(map[MemHandle]*region),
+		doorbells:   sim.NewQueue(h.sys.Eng),
+		connArrived: sim.NewSignal(h.sys.Eng),
+	}
+	if m.TranslationAt == provider.TranslateAtNIC && m.TablesAt == provider.TablesInHostMemory {
+		n.tlb = nicsim.NewTLB(m.TLBCapacity, m.TLBPolicy)
+	}
+	eng := h.sys.Eng
+	eng.Spawn(procName(h, "nic-send"), func(p *sim.Proc) {
+		p.SetDaemon(true)
+		n.sendEngine(p)
+	})
+	eng.Spawn(procName(h, "nic-recv"), func(p *sim.Proc) {
+		p.SetDaemon(true)
+		n.recvEngine(p)
+	})
+	return n
+}
+
+func procName(h *Host, s string) string {
+	return s + "@" + string(rune('0'+int(h.id)))
+}
+
+// Host returns the NIC's host.
+func (n *Nic) Host() *Host { return n.host }
+
+// Attributes describes the provider, mirroring VipQueryNic.
+func (n *Nic) Attributes() NicAttributes {
+	var levels []ReliabilityLevel
+	for _, lv := range []ReliabilityLevel{Unreliable, ReliableDelivery, ReliableReception} {
+		if n.model.Supports(uint8(lv)) {
+			levels = append(levels, lv)
+		}
+	}
+	return NicAttributes{
+		Name:                 n.model.Name,
+		MaxTransferSize:      n.model.MaxTransferSize,
+		MaxSegments:          n.model.MaxSegments,
+		WireMTU:              n.model.WireMTU,
+		RdmaWriteSupported:   n.model.SupportsRDMAWrite,
+		RdmaReadSupported:    n.model.SupportsRDMARead,
+		ReliabilitySupported: levels,
+	}
+}
+
+// TLB exposes the NIC translation cache for tests and ablation reports
+// (nil when the provider does not use one).
+func (n *Nic) TLB() *nicsim.TLB { return n.tlb }
+
+// OpenVIs reports the number of live VIs on this NIC.
+func (n *Nic) OpenVIs() int { return n.openVIs }
+
+// CreateVi creates a VI with the given attributes, optionally associating
+// its work queues with completion queues, mirroring VipCreateVi. Either CQ
+// may be nil.
+func (n *Nic) CreateVi(ctx *Ctx, attrs ViAttributes, sendCQ, recvCQ *CQ) (*Vi, error) {
+	if !n.model.Supports(uint8(attrs.Reliability)) {
+		return nil, ErrNotSupported
+	}
+	if attrs.EnableRdmaWrite && !n.model.SupportsRDMAWrite {
+		return nil, ErrNotSupported
+	}
+	if attrs.EnableRdmaRead && !n.model.SupportsRDMARead {
+		return nil, ErrNotSupported
+	}
+	if attrs.MaxTransferSize == 0 || attrs.MaxTransferSize > n.model.MaxTransferSize {
+		attrs.MaxTransferSize = n.model.MaxTransferSize
+	}
+	for _, cq := range []*CQ{sendCQ, recvCQ} {
+		if cq != nil && cq.destroyed {
+			return nil, ErrDestroyed
+		}
+	}
+	ctx.use(n.model.ViCreate)
+
+	n.nextViID++
+	vi := &Vi{
+		nic:       n,
+		id:        n.nextViID,
+		attrs:     attrs,
+		state:     ViIdle,
+		connReply: sim.NewSignal(n.host.sys.Eng),
+	}
+	vi.sendQ = newWorkQueue(n.host, vi, false, sendCQ)
+	vi.recvQ = newWorkQueue(n.host, vi, true, recvCQ)
+	n.vis[vi.id] = vi
+	n.openVIs++
+	return vi, nil
+}
+
+// CreateCQ creates a completion queue of the given depth, mirroring
+// VipCreateCQ.
+func (n *Nic) CreateCQ(ctx *Ctx, depth int) (*CQ, error) {
+	if depth <= 0 {
+		return nil, ErrLength
+	}
+	ctx.use(n.model.CqCreate)
+	return &CQ{nic: n, depth: depth, sig: sim.NewSignal(n.host.sys.Eng)}, nil
+}

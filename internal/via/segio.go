@@ -1,0 +1,118 @@
+package via
+
+import (
+	"fmt"
+
+	"vibe/internal/vmem"
+)
+
+// segRun is one resolved data segment: its virtual address plus the
+// backing storage, so the NIC engine can DMA without re-resolving.
+type segRun struct {
+	addr vmem.Addr
+	data []byte
+}
+
+// resolveSegs maps a descriptor's data segments to backing storage. It
+// fails if any segment is unmapped, which the simulated NIC treats as a
+// fault.
+func resolveSegs(as *vmem.AddressSpace, segs []DataSegment) ([]segRun, error) {
+	runs := make([]segRun, 0, len(segs))
+	for i, s := range segs {
+		data, err := as.Resolve(s.Addr, s.Length)
+		if err != nil {
+			return nil, fmt.Errorf("via: segment %d: %w", i, err)
+		}
+		runs = append(runs, segRun{addr: s.Addr, data: data})
+	}
+	return runs, nil
+}
+
+// totalLen sums the resolved run lengths.
+func totalLen(runs []segRun) int {
+	n := 0
+	for _, r := range runs {
+		n += len(r.data)
+	}
+	return n
+}
+
+// gather copies n bytes starting at logical offset off (across the
+// concatenated runs) into dst. It models the NIC's gathering DMA read.
+func gather(runs []segRun, off int, dst []byte) {
+	copyRuns(runs, off, len(dst), func(seg []byte, dstOff int) {
+		copy(dst[dstOff:], seg)
+	})
+}
+
+// scatter copies src into the concatenated runs starting at logical offset
+// off. It models the NIC's scattering DMA write.
+func scatter(runs []segRun, off int, src []byte) {
+	copyRuns(runs, off, len(src), func(seg []byte, srcOff int) {
+		copy(seg, src[srcOff:srcOff+len(seg)])
+	})
+}
+
+// copyRuns walks the byte range [off, off+n) of the concatenated runs and
+// invokes fn for each contiguous piece with its offset relative to the
+// start of the range.
+func copyRuns(runs []segRun, off, n int, fn func(piece []byte, rangeOff int)) {
+	if n == 0 {
+		return
+	}
+	rangeOff := 0
+	for _, r := range runs {
+		if n <= 0 {
+			return
+		}
+		if off >= len(r.data) {
+			off -= len(r.data)
+			continue
+		}
+		take := len(r.data) - off
+		if take > n {
+			take = n
+		}
+		fn(r.data[off:off+take], rangeOff)
+		rangeOff += take
+		n -= take
+		off = 0
+	}
+	if n > 0 {
+		panic(fmt.Sprintf("via: range overruns segments by %d bytes", n))
+	}
+}
+
+// pagesIn returns the distinct virtual page numbers touched by the byte
+// range [off, off+n) of the concatenated runs, in access order. This is
+// what the NIC must translate to move that range.
+func pagesIn(runs []segRun, off, n int) []uint64 {
+	var pages []uint64
+	seen := func(p uint64) bool {
+		return len(pages) > 0 && pages[len(pages)-1] == p
+	}
+	rem := n
+	for _, r := range runs {
+		if rem <= 0 {
+			break
+		}
+		if off >= len(r.data) {
+			off -= len(r.data)
+			continue
+		}
+		take := len(r.data) - off
+		if take > rem {
+			take = rem
+		}
+		first := r.addr.Advance(off).Page()
+		last := r.addr.Advance(off + take - 1).Page()
+		for p := first; p <= last; p++ {
+			if !seen(p) {
+				pages = append(pages, p)
+			}
+		}
+		rem -= take
+		off = 0
+	}
+	return pages
+}

@@ -1,0 +1,116 @@
+// Package via is a complete software implementation of the Virtual
+// Interface Architecture on top of a deterministic discrete-event
+// hardware simulation. The user-facing API mirrors VIPL: NICs, VIs with
+// send/receive work queues, descriptor-based data transfer, memory
+// registration, completion queues, connection management, RDMA, and the
+// three VIA reliability levels.
+//
+// The same engine implements every provider; a provider.Model selects the
+// behaviours (where translation runs, whether the host copies, whether the
+// firmware polls each VI) and the cost constants.
+package via
+
+import (
+	"fmt"
+
+	"vibe/internal/cpu"
+	"vibe/internal/fabric"
+	"vibe/internal/provider"
+	"vibe/internal/sim"
+	"vibe/internal/vmem"
+)
+
+// System is a simulated cluster: an engine, a fabric, and a set of hosts
+// each with one VIA NIC.
+type System struct {
+	Eng   *sim.Engine
+	Net   *fabric.Network
+	Model *provider.Model
+	hosts []*Host
+}
+
+// NewSystem builds a cluster of n hosts connected by the model's network.
+// The seed drives all randomness (loss injection); equal seeds give
+// identical runs.
+func NewSystem(model *provider.Model, n int, seed int64) *System {
+	eng := sim.NewEngine(seed)
+	net := fabric.New(eng, n, model.Network)
+	sys := &System{Eng: eng, Net: net, Model: model}
+	for i := 0; i < n; i++ {
+		h := &Host{
+			sys: sys,
+			id:  fabric.NodeID(i),
+			CPU: cpu.New(eng),
+			AS:  vmem.NewAddressSpace(),
+		}
+		h.nic = newNic(h)
+		sys.hosts = append(sys.hosts, h)
+	}
+	return sys
+}
+
+// Host returns host i.
+func (s *System) Host(i int) *Host { return s.hosts[i] }
+
+// Hosts reports the number of hosts.
+func (s *System) Hosts() int { return len(s.hosts) }
+
+// Go spawns a user process on host node. The function runs in virtual
+// time, interleaved deterministically with all other processes.
+func (s *System) Go(node int, name string, fn func(ctx *Ctx)) {
+	h := s.hosts[node]
+	s.Eng.Spawn(fmt.Sprintf("h%d/%s", node, name), func(p *sim.Proc) {
+		fn(&Ctx{P: p, Host: h})
+	})
+}
+
+// Run drives the simulation until every user process finishes. It returns
+// an error on deadlock (a protocol bug in the simulated code).
+func (s *System) Run() error { return s.Eng.Run() }
+
+// MustRun is Run, panicking on error.
+func (s *System) MustRun() { s.Eng.MustRun() }
+
+// Host is one simulated machine: a CPU, an address space, and a VIA NIC.
+type Host struct {
+	sys *System
+	id  fabric.NodeID
+	CPU *cpu.CPU
+	AS  *vmem.AddressSpace
+	nic *Nic
+}
+
+// ID returns the host's fabric node id.
+func (h *Host) ID() fabric.NodeID { return h.id }
+
+// System returns the owning system.
+func (h *Host) System() *System { return h.sys }
+
+// Ctx is the execution context of one user process: the simulated process
+// plus the host it runs on. All VIPL-style calls take a Ctx so their costs
+// land on the right CPU.
+type Ctx struct {
+	P    *sim.Proc
+	Host *Host
+}
+
+// Now reports the current virtual time.
+func (c *Ctx) Now() sim.Time { return c.P.Now() }
+
+// Sleep suspends the process for d without consuming CPU (e.g. modeling a
+// think time).
+func (c *Ctx) Sleep(d sim.Duration) { c.P.Sleep(d) }
+
+// Compute models d of application computation on the host CPU.
+func (c *Ctx) Compute(d sim.Duration) { c.Host.CPU.Use(c.P, d) }
+
+// Malloc allocates a page-aligned buffer in the host's address space.
+// Allocation itself is free in virtual time (the benchmarks allocate
+// outside their timed sections, as the paper does).
+func (c *Ctx) Malloc(n int) *vmem.Buffer { return c.Host.AS.Alloc(n) }
+
+// OpenNic returns the host's VIA NIC, mirroring VipOpenNic.
+func (c *Ctx) OpenNic() *Nic { return c.Host.nic }
+
+// use charges d of host CPU.
+func (c *Ctx) use(d sim.Duration) { c.Host.CPU.Use(c.P, d) }

@@ -1,0 +1,195 @@
+package vmem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignmentAndSeparation(t *testing.T) {
+	as := NewAddressSpace()
+	a := as.Alloc(100)
+	b := as.Alloc(PageSize + 1)
+	c := as.Alloc(1)
+	for _, buf := range []*Buffer{a, b, c} {
+		if buf.Addr().PageOffset() != 0 {
+			t.Errorf("buffer at %v not page-aligned", buf.Addr())
+		}
+	}
+	if a.Addr() == 0 {
+		t.Error("address zero handed out")
+	}
+	// Guard page: next allocation starts at least one full page past the
+	// previous buffer's end.
+	endA := uint64(a.Addr()) + uint64(a.Len())
+	if uint64(b.Addr()) < endA+1 {
+		t.Errorf("allocations too close: a ends %#x, b starts %v", endA, b.Addr())
+	}
+}
+
+func TestResolve(t *testing.T) {
+	as := NewAddressSpace()
+	b := as.Alloc(8192)
+	b.Bytes()[100] = 42
+
+	got, err := as.Resolve(b.AddrAt(100), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Fatalf("resolved wrong storage: %v", got[0])
+	}
+	// Writing through the resolved slice mutates the buffer (DMA
+	// semantics).
+	got[1] = 7
+	if b.Bytes()[101] != 7 {
+		t.Error("resolved slice does not alias buffer storage")
+	}
+
+	if _, err := as.Resolve(Addr(8), 1); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("unmapped resolve: err = %v", err)
+	}
+	if _, err := as.Resolve(b.AddrAt(8190), 4); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("overrun resolve: err = %v", err)
+	}
+}
+
+func TestOwner(t *testing.T) {
+	as := NewAddressSpace()
+	b := as.Alloc(64)
+	if as.Owner(b.AddrAt(63)) != b {
+		t.Error("Owner missed last byte")
+	}
+	if as.Owner(b.AddrAt(63).Advance(1)) != nil {
+		t.Error("Owner matched past end")
+	}
+	if len(as.Buffers()) != 1 {
+		t.Error("Buffers() wrong length")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	as := NewAddressSpace()
+	b := as.Alloc(16)
+	if _, err := b.Slice(8, 8); err != nil {
+		t.Errorf("valid slice failed: %v", err)
+	}
+	if _, err := b.Slice(8, 9); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("overrun slice: err = %v", err)
+	}
+	if _, err := b.Slice(-1, 2); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative slice: err = %v", err)
+	}
+}
+
+func TestFillAndPattern(t *testing.T) {
+	as := NewAddressSpace()
+	b := as.Alloc(300)
+	b.Fill(0xAB)
+	for i, v := range b.Bytes() {
+		if v != 0xAB {
+			t.Fatalf("Fill missed byte %d", i)
+		}
+	}
+	b.FillPattern(3)
+	if err := b.CheckPattern(3, 300); err != nil {
+		t.Fatalf("pattern roundtrip: %v", err)
+	}
+	if err := b.CheckPattern(4, 300); err == nil {
+		t.Fatal("wrong seed passed CheckPattern")
+	}
+	b.Bytes()[200] ^= 0xFF
+	if err := b.CheckPattern(3, 300); err == nil {
+		t.Fatal("corruption passed CheckPattern")
+	}
+	if err := b.CheckPattern(3, 301); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("overlong check: err = %v", err)
+	}
+}
+
+func TestNumPages(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		n    int
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, PageSize, 1},
+		{0, PageSize + 1, 2},
+		{Addr(PageSize - 1), 2, 2},
+		{Addr(PageSize), PageSize, 1},
+		{Addr(100), 3 * PageSize, 4},
+	}
+	for _, c := range cases {
+		if got := NumPages(c.addr, c.n); got != c.want {
+			t.Errorf("NumPages(%v,%d) = %d, want %d", c.addr, c.n, got, c.want)
+		}
+	}
+}
+
+func TestPageArithmetic(t *testing.T) {
+	a := Addr(2*PageSize + 17)
+	if a.Page() != 2 {
+		t.Errorf("Page = %d", a.Page())
+	}
+	if a.PageOffset() != 17 {
+		t.Errorf("PageOffset = %d", a.PageOffset())
+	}
+	if a.String() != "0x2011" {
+		t.Errorf("String = %s", a.String())
+	}
+}
+
+func TestAllocZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc(0) did not panic")
+		}
+	}()
+	NewAddressSpace().Alloc(0)
+}
+
+// Property: for any set of allocation sizes, every byte of every buffer
+// resolves back to exactly its own storage, and no two buffers overlap.
+func TestAllocationsNeverOverlap(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		as := NewAddressSpace()
+		var bufs []*Buffer
+		for _, s := range sizes {
+			n := int(s%20000) + 1
+			bufs = append(bufs, as.Alloc(n))
+		}
+		for i, b := range bufs {
+			// Check first, last, and a middle byte.
+			for _, off := range []int{0, b.Len() / 2, b.Len() - 1} {
+				if as.Owner(b.AddrAt(off)) != b {
+					t.Logf("buffer %d byte %d resolved to wrong owner", i, off)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NumPages equals the count of distinct page numbers touched.
+func TestNumPagesMatchesEnumeration(t *testing.T) {
+	f := func(addr uint32, n uint16) bool {
+		a := Addr(addr)
+		length := int(n)
+		want := 0
+		if length > 0 {
+			first := a.Page()
+			last := Addr(uint64(a) + uint64(length) - 1).Page()
+			want = int(last - first + 1)
+		}
+		return NumPages(a, length) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package vibe_test
+
+import (
+	"testing"
+
+	"vibe"
+)
+
+func TestPublicProviders(t *testing.T) {
+	got := vibe.Providers()
+	want := []string{"mvia", "bvia", "clan"}
+	if len(got) != len(want) {
+		t.Fatalf("Providers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Providers = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewClusterUnknownProvider(t *testing.T) {
+	if _, err := vibe.NewCluster("nope", 2, 1); err == nil {
+		t.Fatal("unknown provider accepted")
+	}
+	if _, err := vibe.DefaultConfig("nope"); err == nil {
+		t.Fatal("unknown provider accepted by DefaultConfig")
+	}
+}
+
+func TestPublicPingPong(t *testing.T) {
+	sys, err := vibe.NewCluster("clan", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmo := 10 * vibe.Second
+	const n = 512
+	done := false
+	sys.Go(0, "client", func(ctx *vibe.Ctx) {
+		nic := ctx.OpenNic()
+		vi, err := nic.CreateVi(ctx, vibe.ViAttributes{}, nil, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := vi.ConnectRequest(ctx, 1, "t", tmo); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := ctx.Malloc(n)
+		h, err := nic.RegisterMem(ctx, buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf.FillPattern(3)
+		if err := vi.PostRecv(ctx, vibe.SimpleRecv(buf, h, n)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := vi.PostSend(ctx, vibe.SimpleSend(buf, h, n)); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := vi.SendWaitPoll(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := vi.RecvWaitPoll(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		done = true
+	})
+	sys.Go(1, "server", func(ctx *vibe.Ctx) {
+		nic := ctx.OpenNic()
+		vi, _ := nic.CreateVi(ctx, vibe.ViAttributes{}, nil, nil)
+		buf := ctx.Malloc(n)
+		h, _ := nic.RegisterMem(ctx, buf)
+		vi.PostRecv(ctx, vibe.SimpleRecv(buf, h, n))
+		req, err := nic.ConnectWait(ctx, "t", tmo)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Accept(ctx, vi)
+		if _, err := vi.RecvWaitPoll(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		vi.PostSend(ctx, vibe.SimpleSend(buf, h, n))
+		vi.SendWaitPoll(ctx)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("ping-pong did not complete")
+	}
+}
+
+func TestPublicLatencyAndBandwidth(t *testing.T) {
+	lat, err := vibe.Latency("clan", 1024, vibe.XferOpts{})
+	if err != nil || lat.LatencyUs <= 0 {
+		t.Fatalf("Latency: %v %v", lat, err)
+	}
+	bw, err := vibe.Bandwidth("clan", 1024, vibe.XferOpts{})
+	if err != nil || bw.MBps <= 0 {
+		t.Fatalf("Bandwidth: %v %v", bw, err)
+	}
+}
+
+func TestPublicRunExperiment(t *testing.T) {
+	rep, err := vibe.RunExperiment("TCQ", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) == 0 {
+		t.Fatal("no tables")
+	}
+	if _, err := vibe.RunExperiment("NOPE", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(vibe.Experiments()) < 19 {
+		t.Fatalf("registry too small: %d", len(vibe.Experiments()))
+	}
+}
+
+func TestPublicReliabilityConstants(t *testing.T) {
+	if vibe.Unreliable.Reliable() || !vibe.ReliableDelivery.Reliable() || !vibe.ReliableReception.Reliable() {
+		t.Fatal("reliability level predicates wrong")
+	}
+}
