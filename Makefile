@@ -1,0 +1,41 @@
+# VIBe build and verification targets. `make check` is the gate every
+# change must pass: it race-checks the parallel runner in addition to the
+# regular suite, since runner bugs would silently corrupt assembled
+# reports rather than fail loudly.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-sim quick clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runner/...
+
+check: vet build test race
+
+# Time the quick-mode registry (sequential vs parallel) and write
+# BENCH_suite.json.
+bench: build
+	$(GO) run ./cmd/vibe-report -quick -bench BENCH_suite.json
+
+# Microbenchmarks for the simulation engine hot paths.
+bench-sim:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/sim/
+
+# Smoke-run the full registry in quick mode.
+quick: build
+	$(GO) run ./cmd/vibe -bench suite -quick
+
+clean:
+	$(GO) clean ./...
+	rm -f vibe vibe-report

@@ -11,32 +11,44 @@
 //	vibe-report -chart          # draw ASCII charts for series groups
 //	vibe-report -json out.json  # also save machine-readable results
 //	vibe-report -compare base.json -tol 0.05   # diff against a saved set
+//	vibe-report -parallel 4     # run cells on 4 workers (default: NumCPU)
+//	vibe-report -bench BENCH_suite.json   # time sequential vs parallel passes
+//
+// Experiments are independent simulations, so they run concurrently across
+// a worker pool; output and saved results are assembled in registry order
+// and are byte-identical to a sequential (-parallel 1) run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
 	"vibe/internal/bench"
 	"vibe/internal/core"
 	"vibe/internal/results"
+	"vibe/internal/runner"
 	"vibe/internal/table"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id to run (default: all)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		quick   = flag.Bool("quick", false, "smaller sweeps")
-		csv     = flag.Bool("csv", false, "emit series groups as CSV")
-		chart   = flag.Bool("chart", false, "draw ASCII charts for series groups")
-		jsonOut = flag.String("json", "", "save results to this JSON file (the paper's results-repository format)")
-		compare = flag.String("compare", "", "diff results against this saved JSON baseline")
-		label   = flag.String("label", "", "label recorded in the JSON result set")
-		tol     = flag.Float64("tol", 0.02, "relative tolerance for -compare")
+		exp       = flag.String("exp", "", "experiment id to run (default: all)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		quick     = flag.Bool("quick", false, "smaller sweeps")
+		csv       = flag.Bool("csv", false, "emit series groups as CSV")
+		chart     = flag.Bool("chart", false, "draw ASCII charts for series groups")
+		jsonOut   = flag.String("json", "", "save results to this JSON file (the paper's results-repository format)")
+		compare   = flag.String("compare", "", "diff results against this saved JSON baseline")
+		label     = flag.String("label", "", "label recorded in the JSON result set")
+		tol       = flag.Float64("tol", 0.02, "relative tolerance for -compare")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "number of experiment cells run concurrently")
+		benchOut  = flag.String("bench", "", "time sequential vs parallel and write the report to this JSON file (use with -quick for a fast pass)")
+		baseMs    = flag.Float64("bench-baseline-ms", 0, "earlier revision's sequential wall time in ms; with -bench, speedup is computed against it")
+		baseLabel = flag.String("bench-baseline-label", "", "label describing the -bench-baseline-ms revision")
 	)
 	flag.Parse()
 
@@ -56,15 +68,41 @@ func main() {
 		exps = []*core.Experiment{e}
 	}
 
-	set := &results.Set{Label: *label}
-	for _, e := range exps {
-		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		fmt.Printf("paper: %s\n\n", e.PaperClaim)
-		rep, err := e.Run(*quick)
+	if *benchOut != "" {
+		b, err := runner.BenchSuite(exps, runner.Options{Quick: *quick, Workers: *parallel}, *label)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if *baseMs > 0 {
+			b.SetBaseline(*baseLabel, *baseMs)
+		}
+		if err := b.Save(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d experiments: sequential %.1f ms, parallel %.1f ms (%d workers)\n",
+			len(b.Experiments), b.SequentialMs, b.ParallelMs, b.Workers)
+		if b.BaselineSequentialMs > 0 {
+			fmt.Printf("speedup vs baseline %q (%.1f ms): %.2fx\n", b.BaselineLabel, b.BaselineSequentialMs, b.Speedup)
+		} else {
+			fmt.Printf("parallel speedup: %.2fx\n", b.Speedup)
+		}
+		fmt.Printf("bench report saved to %s\n", *benchOut)
+		return
+	}
+
+	cells := runner.Run(exps, runner.Options{Quick: *quick, Workers: *parallel})
+	if err := runner.FirstError(cells); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	set := &results.Set{Label: *label}
+	for i, e := range exps {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Printf("paper: %s\n\n", e.PaperClaim)
+		rep := cells[i].Report
 		for _, t := range rep.Tables {
 			t.Render(os.Stdout)
 			fmt.Println()

@@ -11,12 +11,14 @@
 //	vibe -provider mvia -bench nondata
 //	vibe -provider bvia -bench memreg
 //	vibe -provider clan -bench logp
+//	vibe -bench suite -quick -parallel 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -25,6 +27,7 @@ import (
 	"vibe/internal/logp"
 	"vibe/internal/mp"
 	"vibe/internal/provider"
+	"vibe/internal/runner"
 	"vibe/internal/table"
 	"vibe/internal/via"
 )
@@ -46,8 +49,15 @@ func main() {
 		req      = flag.Int("req", 16, "request size for clientserver")
 		iters    = flag.Int("iters", 0, "override timed iterations")
 		csv      = flag.Bool("csv", false, "emit CSV")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count for -bench suite")
+		quick    = flag.Bool("quick", false, "smaller sweeps for -bench suite")
 	)
 	flag.Parse()
+
+	if *benchSel == "suite" {
+		runSuite(*quick, *parallel)
+		return
+	}
 
 	m, err := provider.ByNameExtended(*prov)
 	if err != nil {
@@ -201,6 +211,27 @@ func main() {
 		fmt.Printf("This spread is what VIBe measures and LogP cannot (paper §1).\n")
 	default:
 		fatal(fmt.Errorf("unknown benchmark %q", *benchSel))
+	}
+}
+
+// runSuite executes the whole experiment registry across the runner's
+// worker pool, printing a one-line status per cell in registry order.
+func runSuite(quick bool, workers int) {
+	exps := core.Experiments()
+	cells := runner.Run(exps, runner.Options{Quick: quick, Workers: workers})
+	for i := range cells {
+		c := &cells[i]
+		switch {
+		case c.Skipped():
+			fmt.Printf("%-8s skipped\n", c.ID)
+		case c.Err != nil:
+			fmt.Printf("%-8s FAILED: %v\n", c.ID, c.Err)
+		default:
+			fmt.Printf("%-8s ok  %8.1f ms  %s\n", c.ID, float64(c.Wall.Microseconds())/1000, exps[i].Title)
+		}
+	}
+	if err := runner.FirstError(cells); err != nil {
+		fatal(err)
 	}
 }
 

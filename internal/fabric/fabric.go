@@ -49,7 +49,9 @@ func (p *Params) SerializationTime(n int) sim.Duration {
 	return sim.Duration(bits / p.BandwidthBps * float64(sim.Second))
 }
 
-// Delivery is what arrives in a node's inbox.
+// Delivery is what arrives in a node's inbox. Inboxes carry *Delivery
+// values drawn from a network-local free list; the receiver hands each one
+// back with Recycle once it has read the fields.
 type Delivery struct {
 	Src     NodeID
 	Dst     NodeID
@@ -75,6 +77,10 @@ type Network struct {
 	ports  []*port
 
 	dropFilter DropFilter
+
+	// delFree recycles Delivery objects so the per-packet hot path does
+	// not allocate. Engine-local: the simulation is single-threaded.
+	delFree []*Delivery
 
 	// Counters for tests and reporting.
 	Sent      uint64
@@ -122,6 +128,24 @@ func (nw *Network) port(id NodeID) *port {
 	return nw.ports[id]
 }
 
+// getDelivery draws a Delivery from the free list, allocating on miss.
+func (nw *Network) getDelivery() *Delivery {
+	if n := len(nw.delFree); n > 0 {
+		d := nw.delFree[n-1]
+		nw.delFree[n-1] = nil
+		nw.delFree = nw.delFree[:n-1]
+		return d
+	}
+	return &Delivery{}
+}
+
+// Recycle returns a delivery popped from an inbox to the network's free
+// list. The caller must not retain d (or read it again) afterwards.
+func (nw *Network) Recycle(d *Delivery) {
+	*d = Delivery{}
+	nw.delFree = append(nw.delFree, d)
+}
+
 // Send injects a packet from src. It does not block the caller: link
 // occupancy is modeled with pipes and the delivery is scheduled as an
 // engine event. Send returns the instant the packet finishes serializing
@@ -134,13 +158,16 @@ func (nw *Network) Send(src, dst NodeID, size int, payload interface{}) sim.Time
 	nw.Sent++
 	nw.BytesSent += uint64(size)
 
-	d := Delivery{Src: src, Dst: dst, Size: size, Payload: payload}
-	if nw.dropFilter != nil && nw.dropFilter(nw.Sent-1, d) {
+	d := nw.getDelivery()
+	d.Src, d.Dst, d.Size, d.Payload = src, dst, size, payload
+	if nw.dropFilter != nil && nw.dropFilter(nw.Sent-1, *d) {
 		nw.Dropped++
+		nw.Recycle(d)
 		return txDone
 	}
 	if nw.params.DropRate > 0 && nw.eng.Rand().Float64() < nw.params.DropRate {
 		nw.Dropped++
+		nw.Recycle(d)
 		return txDone
 	}
 

@@ -42,7 +42,7 @@ func TestEndToEndDeliveryTime(t *testing.T) {
 		}
 	})
 	e.Spawn("rx", func(p *sim.Proc) {
-		got = nw.Inbox(1).Pop(p).(Delivery)
+		got = *nw.Inbox(1).Pop(p).(*Delivery)
 		arrival = p.Now()
 	})
 	e.MustRun()
@@ -111,7 +111,7 @@ func TestDropFilter(t *testing.T) {
 		nw.Send(0, 1, 100, "kept")
 	})
 	e.Spawn("rx", func(p *sim.Proc) {
-		d := nw.Inbox(1).Pop(p).(Delivery)
+		d := nw.Inbox(1).Pop(p).(*Delivery)
 		if d.Payload.(string) != "kept" {
 			t.Errorf("got dropped packet %v", d.Payload)
 		}
@@ -174,6 +174,29 @@ func TestBadNodePanics(t *testing.T) {
 		}
 	}()
 	nw.Inbox(5)
+}
+
+func TestDeliveryRecycling(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := New(e, 2, testParams())
+	var first, second *Delivery
+	e.At(0, func() { nw.Send(0, 1, 100, "one") })
+	e.At(1000000, func() { nw.Send(0, 1, 100, "two") })
+	e.Spawn("rx", func(p *sim.Proc) {
+		first = nw.Inbox(1).Pop(p).(*Delivery)
+		if first.Payload.(string) != "one" {
+			t.Errorf("first payload = %v", first.Payload)
+		}
+		nw.Recycle(first)
+		second = nw.Inbox(1).Pop(p).(*Delivery)
+		if second.Payload.(string) != "two" {
+			t.Errorf("second payload = %v", second.Payload)
+		}
+	})
+	e.MustRun()
+	if first != second {
+		t.Fatal("recycled delivery was not reused")
+	}
 }
 
 func TestSelfSend(t *testing.T) {

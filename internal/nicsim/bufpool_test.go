@@ -1,0 +1,69 @@
+package nicsim
+
+import "testing"
+
+func TestBufPoolGetSizes(t *testing.T) {
+	p := NewBufPool()
+	if b := p.Get(0); b != nil {
+		t.Fatalf("Get(0) = %v, want nil", b)
+	}
+	for _, n := range []int{1, 15, 16, 17, 1500, 4096, 1 << 16} {
+		b := p.Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d): len = %d", n, len(b))
+		}
+		if cap(b)&(cap(b)-1) != 0 {
+			t.Fatalf("Get(%d): cap %d not a power of two", n, cap(b))
+		}
+	}
+	// Oversized requests bypass the pool but still serve the exact length.
+	huge := p.Get(1<<16 + 1)
+	if len(huge) != 1<<16+1 {
+		t.Fatalf("oversized len = %d", len(huge))
+	}
+	p.Put(huge)
+	if got := p.Get(1<<16 + 1); &got[0] == &huge[0] {
+		t.Fatal("oversized buffer was pooled")
+	}
+}
+
+func TestBufPoolReuse(t *testing.T) {
+	p := NewBufPool()
+	a := p.Get(1000)
+	p.Put(a)
+	b := p.Get(900) // same class (1024)
+	if &a[0] != &b[0] {
+		t.Fatal("expected pooled buffer to be reused")
+	}
+	if len(b) != 900 {
+		t.Fatalf("len = %d, want 900", len(b))
+	}
+	if p.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1", p.Hits)
+	}
+}
+
+func TestBufPoolRejectsForeignBuffers(t *testing.T) {
+	p := NewBufPool()
+	p.Put(make([]byte, 100)) // cap 100 is not a class size
+	if b := p.Get(100); cap(b) != 128 {
+		t.Fatalf("foreign buffer entered the pool: cap = %d", cap(b))
+	}
+	if p.Hits != 0 {
+		t.Fatalf("Hits = %d, want 0", p.Hits)
+	}
+}
+
+func TestBufPoolBounded(t *testing.T) {
+	p := NewBufPool()
+	bufs := make([][]byte, 0, 2*maxPerClass)
+	for i := 0; i < 2*maxPerClass; i++ {
+		bufs = append(bufs, make([]byte, 64, 64))
+	}
+	for _, b := range bufs {
+		p.Put(b)
+	}
+	if n := len(p.free[classFor(64)]); n != maxPerClass {
+		t.Fatalf("free list grew to %d, want cap at %d", n, maxPerClass)
+	}
+}

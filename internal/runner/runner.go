@@ -1,0 +1,127 @@
+// Package runner executes experiment cells from the VIBe registry across a
+// worker pool. Every cell owns its own simulation engine and shares no
+// state with any other cell, so cells are embarrassingly parallel; the
+// runner's job is to exploit that while keeping the assembled output
+// deterministic: results come back indexed by submission order, so a
+// parallel run assembles the exact same report sequence as a sequential
+// one regardless of completion order.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vibe/internal/core"
+)
+
+// Result is the outcome of one experiment cell.
+type Result struct {
+	Index  int           // position in the submitted experiment slice
+	ID     string        // experiment id
+	Report *core.Report  // nil when Err != nil
+	Err    error         // the cell's error, or errSkipped after fail-fast
+	Wall   time.Duration // host wall-clock time the cell took
+}
+
+// errSkipped marks cells never started because an earlier cell failed.
+// Indices are handed to workers in order, so a skipped cell's index is
+// always greater than the failing cell's: scanning results in index order
+// always reaches a real error before any skipped cell.
+var errSkipped = fmt.Errorf("runner: skipped after earlier failure")
+
+// Skipped reports whether r was abandoned due to another cell's failure.
+func (r *Result) Skipped() bool { return r.Err == errSkipped }
+
+// Options configures a suite run.
+type Options struct {
+	// Quick selects the experiments' reduced sweeps (smoke-test mode).
+	Quick bool
+
+	// Workers is the number of cells run concurrently. Zero or negative
+	// means runtime.NumCPU(). One gives a fully sequential run.
+	Workers int
+}
+
+func (o Options) workers(cells int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > cells {
+		w = cells
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every experiment and returns one Result per experiment, in
+// submission order. A failing cell stops new cells from starting (cells
+// already in flight finish) and its error is preserved in its slot; Run
+// itself never blocks indefinitely on a failure. Panics inside a cell's
+// Run function are converted to errors so one bad experiment cannot take
+// down the pool.
+func Run(exps []*core.Experiment, opt Options) []Result {
+	results := make([]Result, len(exps))
+	if len(exps) == 0 {
+		return results
+	}
+	var failed atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.workers(len(exps)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runCell(i, exps[i], opt.Quick, &failed)
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+func runCell(i int, e *core.Experiment, quick bool, failed *atomic.Bool) (res Result) {
+	res = Result{Index: i, ID: e.ID}
+	if failed.Load() {
+		res.Err = errSkipped
+		return res
+	}
+	start := time.Now()
+	defer func() {
+		res.Wall = time.Since(start)
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("runner: experiment %s panicked: %v", e.ID, r)
+		}
+		if res.Err != nil && !res.Skipped() {
+			failed.Store(true)
+		}
+	}()
+	rep, err := e.Run(quick)
+	if err != nil {
+		res.Err = fmt.Errorf("%s: %w", e.ID, err)
+		return res
+	}
+	res.Report = rep
+	return res
+}
+
+// FirstError returns the lowest-index real error, or nil if every cell
+// succeeded.
+func FirstError(results []Result) error {
+	for i := range results {
+		if err := results[i].Err; err != nil && !results[i].Skipped() {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"vibe/internal/core"
+	"vibe/internal/results"
+)
+
+// setJSON serializes run results into the suite's results-repository
+// format, the same bytes vibe-report -json would write.
+func setJSON(t *testing.T, rs []Result) []byte {
+	t.Helper()
+	set := &results.Set{}
+	for i := range rs {
+		if rs[i].Err != nil {
+			t.Fatalf("cell %s failed: %v", rs[i].ID, rs[i].Err)
+		}
+		set.Experiments = append(set.Experiments, results.FromReport(rs[i].ID, rs[i].Report))
+	}
+	data, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestParallelMatchesSequential runs the full quick registry sequentially
+// and with 8 workers and requires byte-identical serialized reports: the
+// parallel runner must not perturb any experiment's virtual-time results
+// or the assembly order.
+func TestParallelMatchesSequential(t *testing.T) {
+	exps := core.Experiments()
+	seq := Run(exps, Options{Quick: true, Workers: 1})
+	par := Run(exps, Options{Quick: true, Workers: 8})
+	a, b := setJSON(t, seq), setJSON(t, par)
+	if string(a) != string(b) {
+		t.Fatalf("parallel run diverged from sequential run:\nseq %d bytes, par %d bytes", len(a), len(b))
+	}
+	for i := range seq {
+		if seq[i].Index != i || par[i].Index != i {
+			t.Fatalf("result %d out of order: seq idx %d, par idx %d", i, seq[i].Index, par[i].Index)
+		}
+		if seq[i].ID != exps[i].ID || par[i].ID != exps[i].ID {
+			t.Fatalf("result %d id mismatch: want %s, got seq %s par %s", i, exps[i].ID, seq[i].ID, par[i].ID)
+		}
+	}
+}
+
+func fakeExp(id string, run func(bool) (*core.Report, error)) *core.Experiment {
+	return &core.Experiment{ID: id, Title: id, Run: run}
+}
+
+// TestFailingCellPropagates checks that one failing cell surfaces its
+// error through FirstError, that the pool drains without deadlocking, and
+// that cells never started are marked skipped rather than errored.
+func TestFailingCellPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	var exps []*core.Experiment
+	for i := 0; i < 16; i++ {
+		i := i
+		exps = append(exps, fakeExp(fmt.Sprintf("E%02d", i), func(bool) (*core.Report, error) {
+			if i == 3 {
+				return nil, boom
+			}
+			time.Sleep(time.Millisecond)
+			return &core.Report{Title: "ok"}, nil
+		}))
+	}
+	done := make(chan []Result, 1)
+	go func() { done <- Run(exps, Options{Workers: 4}) }()
+	var rs []Result
+	select {
+	case rs = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run deadlocked after a cell failure")
+	}
+	err := FirstError(rs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("FirstError = %v, want wrapped %v", err, boom)
+	}
+	if rs[3].Err == nil || rs[3].Skipped() {
+		t.Fatalf("failing cell: Err = %v, Skipped = %v", rs[3].Err, rs[3].Skipped())
+	}
+	skipped := 0
+	for i := range rs {
+		if rs[i].Skipped() {
+			skipped++
+			if i <= 3 {
+				t.Fatalf("cell %d skipped, but indices are handed out in order before cell 3 fails", i)
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Log("no cells were skipped (all started before the failure was observed); fail-fast not exercised")
+	}
+}
+
+// TestPanickingCellIsContained checks that a panic inside an experiment
+// is converted to that cell's error instead of killing the process.
+func TestPanickingCellIsContained(t *testing.T) {
+	exps := []*core.Experiment{
+		fakeExp("OK", func(bool) (*core.Report, error) { return &core.Report{}, nil }),
+		fakeExp("PANIC", func(bool) (*core.Report, error) { panic("kaboom") }),
+	}
+	rs := Run(exps, Options{Workers: 2})
+	if rs[0].Err != nil && !rs[0].Skipped() {
+		t.Fatalf("healthy cell errored: %v", rs[0].Err)
+	}
+	if rs[1].Err == nil {
+		t.Fatal("panicking cell reported no error")
+	}
+	if err := FirstError(rs); err == nil {
+		t.Fatal("FirstError missed the panic-derived error")
+	}
+}
+
+// TestWorkersClamp checks the worker-count defaults and bounds.
+func TestWorkersClamp(t *testing.T) {
+	if got := (Options{Workers: 8}).workers(3); got != 3 {
+		t.Fatalf("workers(3) with 8 requested = %d, want 3", got)
+	}
+	if got := (Options{Workers: -1}).workers(100); got < 1 {
+		t.Fatalf("workers must be >= 1, got %d", got)
+	}
+	if got := (Options{Workers: 1}).workers(100); got != 1 {
+		t.Fatalf("explicit sequential run got %d workers", got)
+	}
+}
+
+// TestEmptyRun checks the degenerate empty registry.
+func TestEmptyRun(t *testing.T) {
+	rs := Run(nil, Options{})
+	if len(rs) != 0 {
+		t.Fatalf("got %d results for empty input", len(rs))
+	}
+	if err := FirstError(rs); err != nil {
+		t.Fatalf("FirstError on empty = %v", err)
+	}
+}

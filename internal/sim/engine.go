@@ -1,52 +1,25 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
-// event is a scheduled callback. Events fire in (at, seq) order so that two
-// events scheduled for the same instant run in schedule order.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine is a discrete-event simulation engine. It owns the virtual clock,
 // the event queue, and the set of live processes. An Engine is not safe for
 // use from multiple goroutines except through the process-handshake
-// mechanism it manages itself.
+// mechanism it manages itself; run independent simulations on independent
+// engines (they share nothing, so engines may run in parallel with each
+// other).
 type Engine struct {
 	now    Time
-	events eventHeap
+	events eventQueue
 	seq    uint64
 	rng    *rand.Rand
 
-	// park receives a token whenever the currently running process yields
-	// control back to the event loop.
-	park chan struct{}
+	// toMain receives a token when the event queue drains (or Stop fires)
+	// while a process goroutine holds control, returning control to Run.
+	toMain chan struct{}
 
 	live    int // number of spawned processes that have not finished
 	blocked int // processes parked on a Signal/Queue/Resource (no wake event pending)
@@ -66,8 +39,9 @@ type Tracer interface {
 // injection); runs with equal seeds are identical.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		rng:  rand.New(rand.NewSource(seed)),
-		park: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		toMain: make(chan struct{}, 1),
+		events: eventQueue{a: make([]event, 0, 256)},
 	}
 }
 
@@ -80,7 +54,14 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // SetTracer installs tr as the engine's tracer. Pass nil to disable.
 func (e *Engine) SetTracer(tr Tracer) { e.tracer = tr }
 
-// Tracef emits a formatted trace line if a tracer is installed.
+// Tracing reports whether a tracer is installed. Hot paths with expensive
+// trace arguments should check it before building them, since Tracef's
+// variadic arguments are materialized at the call site even when tracing
+// is off.
+func (e *Engine) Tracing() bool { return e.tracer != nil }
+
+// Tracef emits a formatted trace line if a tracer is installed. The format
+// is not evaluated when tracing is off.
 func (e *Engine) Tracef(format string, args ...interface{}) {
 	if e.tracer != nil {
 		e.tracer.Trace(e.now, fmt.Sprintf(format, args...))
@@ -94,7 +75,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d from now.
@@ -105,19 +86,75 @@ func (e *Engine) After(d Duration, fn func()) {
 	e.At(e.now.Add(d), fn)
 }
 
+// atWake schedules process p to resume at instant t. It is the closure-free
+// equivalent of At(t, p.wake).
+func (e *Engine) atWake(t Time, p *Proc) {
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, p: p})
+}
+
+// atStart schedules process p to begin running fn at instant t.
+func (e *Engine) atStart(t Time, p *Proc, fn func(*Proc)) {
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, p: p, begin: fn})
+}
+
 // Stop makes Run return after the current event completes. Pending events
 // are discarded.
 func (e *Engine) Stop() { e.stopped = true }
+
+// dispatch advances the event loop in the calling goroutine until control
+// leaves it: it runs plain events inline and, on a wake or start event,
+// hands control directly to the target process. self is the process whose
+// goroutine is executing dispatch (nil for the main goroutine and for dying
+// processes).
+//
+// It returns true if the caller keeps control (a wake event targeted self,
+// or — from main — the queue drained) and false if control was handed to
+// another goroutine, in which case the caller must block (or, for a dying
+// process, exit).
+//
+// This direct handoff is the engine's scheduling hot path: the old design
+// parked every yielding process into a central loop (two channel
+// rendezvous per control transfer); here the yielding goroutine runs the
+// dispatcher itself, so a transfer costs one buffered-channel token, and a
+// process that is the next runnable one (the single-process Sleep loop)
+// costs none at all.
+func (e *Engine) dispatch(self *Proc, fromMain bool) bool {
+	for !e.stopped && len(e.events.a) > 0 {
+		ev := e.events.pop()
+		e.now = ev.at
+		if ev.p != nil {
+			p := ev.p
+			if ev.begin != nil {
+				go p.run(ev.begin)
+				return false
+			}
+			if p.dead {
+				panic(fmt.Sprintf("sim: waking dead process %q", p.name))
+			}
+			if p == self {
+				return true
+			}
+			p.resume <- struct{}{}
+			return false
+		}
+		ev.fn()
+	}
+	if fromMain {
+		return true
+	}
+	e.toMain <- struct{}{}
+	return false
+}
 
 // Run drives the event loop until no events remain, Stop is called, or a
 // deadlock is detected. It returns an error if live processes remain
 // blocked with an empty event queue (a deadlock: nobody can ever wake
 // them), which is almost always a bug in the simulated protocol.
 func (e *Engine) Run() error {
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		ev.fn()
+	if !e.dispatch(nil, true) {
+		<-e.toMain
 	}
 	if !e.stopped && e.blocked > 0 {
 		return fmt.Errorf("sim: deadlock at %v: %d process(es) blocked with no pending events", e.now, e.blocked)

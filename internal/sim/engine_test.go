@@ -457,3 +457,29 @@ func TestTracer(t *testing.T) {
 	e.SetTracer(nil)
 	e.Tracef("dropped") // must not panic
 }
+
+// panicStringer panics if it is ever formatted: it proves Tracef does not
+// evaluate its format when no tracer is installed.
+type panicStringer struct{}
+
+func (panicStringer) String() string { panic("formatted with tracing off") }
+
+func TestTracefDoesNotFormatWhenOff(t *testing.T) {
+	e := NewEngine(1)
+	e.Tracef("%v", panicStringer{})
+}
+
+// TestTracingGuardZeroAlloc pins the hot-path contract: call sites that
+// check Tracing() first pay nothing — not even the variadic argument
+// slice — when tracing is off.
+func TestTracingGuardZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	n := testing.AllocsPerRun(200, func() {
+		if e.Tracing() {
+			e.Tracef("pkt %d -> %d at %v", 1, 2, e.Now())
+		}
+	})
+	if n != 0 {
+		t.Fatalf("guarded trace call allocated %.1f per run with tracing off", n)
+	}
+}

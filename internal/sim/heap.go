@@ -1,0 +1,92 @@
+package sim
+
+// event is a scheduled engine action. Events fire in (at, seq) order so
+// that two events scheduled for the same instant run in schedule order.
+//
+// Exactly one behaviour applies, discriminated without interface boxing:
+//
+//   - begin != nil: start process p (its goroutine is launched lazily at
+//     dispatch, and control transfers to it)
+//   - p != nil:     resume process p (a wake scheduled by Sleep or by a
+//     Signal/Queue/Resource waker)
+//   - otherwise:    run the plain callback fn
+//
+// Wake and start events carry the target process directly instead of a
+// closure, which removes the per-yield allocation the old
+// `After(0, p.wake)` pattern paid on every blocking primitive.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	p     *Proc
+	begin func(*Proc)
+}
+
+// eventQueue is a 4-ary min-heap of events ordered by (at, seq). Events are
+// stored by value: scheduling never heap-allocates, and dispatch order is
+// identical to any other stable priority queue over the same keys because
+// (at, seq) is a total order. The wider node fan-out halves the tree depth
+// of the old binary container/heap and removes its interface{} boxing.
+type eventQueue struct {
+	a []event
+}
+
+func evBefore(x, y *event) bool {
+	return x.at < y.at || (x.at == y.at && x.seq < y.seq)
+}
+
+func (q *eventQueue) len() int { return len(q.a) }
+
+// push inserts ev, sifting parents down rather than swapping so each level
+// costs one copy instead of three.
+func (q *eventQueue) push(ev event) {
+	a := append(q.a, ev)
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !evBefore(&ev, &a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		i = parent
+	}
+	a[i] = ev
+	q.a = a
+}
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() event {
+	a := q.a
+	top := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = event{} // drop closure/proc references for the GC
+	a = a[:n]
+	q.a = a
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if evBefore(&a[j], &a[m]) {
+					m = j
+				}
+			}
+			if !evBefore(&a[m], &last) {
+				break
+			}
+			a[i] = a[m]
+			i = m
+		}
+		a[i] = last
+	}
+	return top
+}

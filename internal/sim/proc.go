@@ -29,75 +29,78 @@ func (p *Proc) Name() string { return p.name }
 // Now reports the current virtual time.
 func (p *Proc) Now() Time { return p.eng.now }
 
+func newProc(e *Engine, name string) *Proc {
+	// resume is buffered: at most one wake token is ever outstanding per
+	// process (a process must yield before anything can wake it again), so
+	// the waking goroutine never blocks on the handoff.
+	return &Proc{eng: e, name: name, resume: make(chan struct{}, 1)}
+}
+
 // Spawn creates a process running fn and schedules it to start at the
 // current virtual time. fn runs concurrently with the caller in virtual
 // time but never in parallel in real time.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	p := newProc(e, name)
 	e.live++
-	e.After(0, func() { p.start(fn) })
+	e.atStart(e.now, p, fn)
 	return p
 }
 
 // SpawnAfter is Spawn with the start delayed by d.
 func (e *Engine) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	p := newProc(e, name)
 	e.live++
-	e.After(d, func() { p.start(fn) })
+	e.atStart(e.now.Add(d), p, fn)
 	return p
 }
 
-func (p *Proc) start(fn func(*Proc)) {
-	go func() {
-		defer func() {
-			p.dead = true
-			p.eng.live--
-			if r := recover(); r != nil {
-				// Re-panic on the engine side so tests see the failure
-				// with a coherent stack instead of a hung channel.
-				p.eng.park <- struct{}{}
-				panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
-			}
-			p.eng.park <- struct{}{}
-		}()
-		fn(p)
+// run is the body of the process goroutine. It is launched by dispatch when
+// the start event fires, already holding control; when fn returns, the
+// dying process dispatches onward, handing control to the next runnable
+// process (or back to Run when the queue is empty).
+func (p *Proc) run(fn func(*Proc)) {
+	defer func() {
+		p.dead = true
+		p.eng.live--
+		if r := recover(); r != nil {
+			// Re-panic with the process identified; the unrecovered panic
+			// takes the program down, so tests see the failure with a
+			// coherent stack instead of a hung channel.
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+		}
+		p.eng.dispatch(nil, false)
 	}()
-	<-p.eng.park
+	fn(p)
 }
 
-// yield returns control to the event loop. The process must already have
-// arranged for something to call p.wake() (directly or via a scheduled
-// event), otherwise it sleeps forever and Run reports a deadlock.
+// yield returns control to the event loop by dispatching in place. The
+// process must already have arranged for something to wake it (directly or
+// via a scheduled event), otherwise it sleeps forever and Run reports a
+// deadlock. If the next runnable event is this process's own wake, control
+// never leaves the goroutine and no channel operation happens.
 func (p *Proc) yield() {
-	p.eng.park <- struct{}{}
+	if p.eng.dispatch(p, false) {
+		return
+	}
 	<-p.resume
 }
 
-// wake transfers control to the process from inside an engine event.
-func (p *Proc) wake() {
-	if p.dead {
-		panic(fmt.Sprintf("sim: waking dead process %q", p.name))
-	}
-	p.resume <- struct{}{}
-	<-p.eng.park
-}
-
-// Sleep suspends the process for d of virtual time.
+// Sleep suspends the process for d of virtual time. Even a zero sleep is a
+// scheduling point: other events at this instant run first, matching the
+// "post then yield" semantics protocol code relies on.
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
 	}
-	if d == 0 {
-		// Even a zero sleep is a scheduling point: other events at this
-		// instant run first. This matches the "post then yield" semantics
-		// protocol code relies on.
-	}
-	p.eng.After(d, p.wake)
+	p.eng.atWake(p.eng.now.Add(d), p)
 	p.yield()
 }
 
-// park suspends the process with no wake-up scheduled; the waker is
-// responsible for calling wake via an engine event. The engine counts
+// parkBlocked suspends the process with no wake-up scheduled; the waker is
+// responsible for scheduling a wake via scheduleWake. The engine counts
 // parked non-daemon processes to detect deadlock.
 func (p *Proc) parkBlocked() {
 	if !p.daemon {
@@ -112,5 +115,5 @@ func (p *Proc) parkBlocked() {
 // scheduleWake schedules this process to resume at the current instant
 // (after already-queued events). Used by Signal/Queue wakers.
 func (p *Proc) scheduleWake() {
-	p.eng.After(0, p.wake)
+	p.eng.atWake(p.eng.now, p)
 }

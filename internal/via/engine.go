@@ -55,9 +55,15 @@ func (n *Nic) xlateCost(pages []uint64) sim.Duration {
 // sendEngine is the NIC's transmit processor: it picks up doorbells and
 // moves descriptors onto the wire.
 func (n *Nic) sendEngine(p *sim.Proc) {
+	eng := n.host.sys.Eng
 	for {
 		db := n.doorbells.Pop(p).(*doorbell)
 		m := n.model
+		// Tracing() guard: the Tracef arguments must not be materialized
+		// on this per-send path when no tracer is installed.
+		if eng.Tracing() {
+			eng.Tracef("nic%d: doorbell vi=%d op=%d len=%d", n.host.id, db.vi.id, db.desc.Op, db.desc.TotalLength())
+		}
 		if m.PollSweep && n.openVIs > 1 {
 			// Firmware sweeps every open VI's send structure to find
 			// work — the Berkeley VIA behaviour behind the paper's
@@ -66,6 +72,7 @@ func (n *Nic) sendEngine(p *sim.Proc) {
 		}
 		p.Sleep(m.DoorbellProc + m.DescFetch)
 		n.processSend(p, db.vi, db.desc)
+		n.rung(db)
 		n.SendsProcessed++
 	}
 }
@@ -87,9 +94,12 @@ func (n *Nic) processSend(p *sim.Proc, vi *Vi, d *Descriptor) {
 }
 
 // sendData moves a send or RDMA-write descriptor onto the wire as MTU
-// fragments, translating and DMAing each.
+// fragments, translating and DMAing each. Packet headers and payload
+// snapshots come from the system's free lists; the receive engine recycles
+// them once a packet can no longer be referenced.
 func (n *Nic) sendData(p *sim.Proc, vi *Vi, d *Descriptor) {
 	m := n.model
+	sys := n.host.sys
 	conn := vi.conn
 	runs, err := resolveSegs(n.host.AS, d.Segs)
 	if err != nil {
@@ -109,17 +119,16 @@ func (n *Nic) sendData(p *sim.Proc, vi *Vi, d *Descriptor) {
 			p.Sleep(n.xlateCost(pagesIn(runs, f.Offset, f.Size)))
 			p.Sleep(sim.Duration(f.Size) * m.DMAPerByte)
 		}
-		data := make([]byte, f.Size)
+		data := sys.bufs.Get(f.Size)
 		gather(runs, f.Offset, data)
-		pkt := &wirePacket{
-			kind:     pktData,
-			srcVi:    vi.id,
-			dstVi:    conn.peerVi,
-			msgID:    msgID,
-			frag:     f,
-			msgTotal: total,
-			data:     data,
-		}
+		pkt := sys.getPkt()
+		pkt.kind = pktData
+		pkt.srcVi = vi.id
+		pkt.dstVi = conn.peerVi
+		pkt.msgID = msgID
+		pkt.frag = f
+		pkt.msgTotal = total
+		pkt.data = data
 		if d.Op == OpRdmaWrite {
 			pkt.kind = pktRdmaWrite
 			pkt.remoteAddr = d.Remote.Addr
@@ -191,37 +200,49 @@ func (n *Nic) completeSend(vi *Vi, d *Descriptor, st Status, length int) {
 // --- Receive engine ---
 
 // recvEngine is the NIC's receive processor: it drains the fabric inbox
-// and dispatches by packet kind.
+// and dispatches by packet kind. Deliveries are recycled as soon as their
+// fields are read; packets are recycled after handling unless they carry a
+// reliability sequence (a sequenced packet is still referenced by the
+// sender's retransmission window, which may resend the very same object
+// and payload, so only the sender forgetting it could ever free it —
+// letting the GC handle that case keeps aliasing impossible).
 func (n *Nic) recvEngine(p *sim.Proc) {
-	inbox := n.host.sys.Net.Inbox(n.host.id)
+	net := n.host.sys.Net
+	inbox := net.Inbox(n.host.id)
+	eng := n.host.sys.Eng
 	for {
-		del := inbox.Pop(p).(fabric.Delivery)
+		del := inbox.Pop(p).(*fabric.Delivery)
+		src := del.Src
 		pkt := del.Payload.(*wirePacket)
+		net.Recycle(del)
+		if eng.Tracing() {
+			eng.Tracef("nic%d: rx kind=%d from=%d vi=%d msg=%d frag=%d+%d", n.host.id, pkt.kind, src, pkt.dstVi, pkt.msgID, pkt.frag.Offset, pkt.frag.Size)
+		}
 		switch pkt.kind {
 		case pktData:
-			n.handleData(p, del.Src, pkt)
+			n.handleData(p, src, pkt)
 		case pktRdmaWrite:
-			n.handleRdmaWrite(p, del.Src, pkt)
+			n.handleRdmaWrite(p, src, pkt)
 		case pktRdmaReadReq:
-			n.handleReadReq(p, del.Src, pkt)
+			n.handleReadReq(p, src, pkt)
 		case pktRdmaReadResp:
-			n.handleReadResp(p, del.Src, pkt)
+			n.handleReadResp(p, src, pkt)
 		case pktAck:
-			n.handleAck(p, del.Src, pkt)
+			n.handleAck(p, src, pkt)
 		case pktErrAck:
-			n.handleErrAck(p, del.Src, pkt)
+			n.handleErrAck(p, src, pkt)
 		case pktConnReq:
 			n.pendingConns = append(n.pendingConns, &ConnRequest{
 				nic:         n,
 				disc:        pkt.disc,
-				clientNode:  del.Src,
+				clientNode:  src,
 				clientVi:    pkt.srcVi,
 				reliability: pkt.reliability,
 			})
 			n.connArrived.Broadcast()
 		case pktConnAccept:
 			if vi := n.vis[pkt.dstVi]; vi != nil && vi.state == ViIdle {
-				vi.conn = newConnState(del.Src, pkt.srcVi)
+				vi.conn = newConnState(src, pkt.srcVi)
 				vi.state = ViConnected
 				vi.connAccepted = true
 				vi.connReply.Broadcast()
@@ -233,9 +254,12 @@ func (n *Nic) recvEngine(p *sim.Proc) {
 			}
 		case pktDisconnect:
 			if vi := n.vis[pkt.dstVi]; vi != nil && vi.state == ViConnected &&
-				vi.conn.peerNode == del.Src && vi.conn.peerVi == pkt.srcVi {
+				vi.conn.peerNode == src && vi.conn.peerVi == pkt.srcVi {
 				vi.teardown(ViDisconnected)
 			}
+		}
+		if !pkt.hasSeq {
+			n.host.sys.recyclePkt(pkt)
 		}
 	}
 }
@@ -484,6 +508,7 @@ func (n *Nic) handleReadReq(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	if err != nil {
 		return
 	}
+	sys := n.host.sys
 	runs := []segRun{{addr: pkt.remoteAddr, data: data}}
 	for _, f := range nicsim.Fragments(pkt.msgTotal, m.WireMTU) {
 		p.Sleep(m.PerFragment)
@@ -491,17 +516,16 @@ func (n *Nic) handleReadReq(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 			p.Sleep(n.xlateCost(pagesIn(runs, f.Offset, f.Size)))
 			p.Sleep(sim.Duration(f.Size) * m.DMAPerByte)
 		}
-		buf := make([]byte, f.Size)
+		buf := sys.bufs.Get(f.Size)
 		gather(runs, f.Offset, buf)
-		resp := &wirePacket{
-			kind:     pktRdmaReadResp,
-			srcVi:    vi.id,
-			dstVi:    conn.peerVi,
-			readReq:  pkt.readReq,
-			frag:     f,
-			msgTotal: pkt.msgTotal,
-			data:     buf,
-		}
+		resp := sys.getPkt()
+		resp.kind = pktRdmaReadResp
+		resp.srcVi = vi.id
+		resp.dstVi = conn.peerVi
+		resp.readReq = pkt.readReq
+		resp.frag = f
+		resp.msgTotal = pkt.msgTotal
+		resp.data = buf
 		pend := conn.window.Add(&sendRef{vi: vi, pkt: resp}, p.Now())
 		resp.seq, resp.hasSeq = pend.Seq, true
 		n.send(resp, conn.peerNode)

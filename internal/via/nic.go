@@ -22,8 +22,10 @@ type Nic struct {
 	tlb *nicsim.TLB
 
 	// doorbells carries send work notifications from the host to the NIC
-	// send engine.
+	// send engine. Rung doorbells are recycled through dbFree so steady
+	//-state posting does not allocate.
 	doorbells *sim.Queue
+	dbFree    []*doorbell
 
 	// Connection management state (see conn.go).
 	pendingConns []*ConnRequest
@@ -70,6 +72,26 @@ func procName(h *Host, s string) string {
 
 // Host returns the NIC's host.
 func (n *Nic) Host() *Host { return n.host }
+
+// ring posts a doorbell for (vi, d), reusing a recycled one if available.
+func (n *Nic) ring(vi *Vi, d *Descriptor) {
+	var db *doorbell
+	if k := len(n.dbFree); k > 0 {
+		db = n.dbFree[k-1]
+		n.dbFree[k-1] = nil
+		n.dbFree = n.dbFree[:k-1]
+	} else {
+		db = &doorbell{}
+	}
+	db.vi, db.desc = vi, d
+	n.doorbells.Push(db)
+}
+
+// rung returns a doorbell consumed by the send engine to the free list.
+func (n *Nic) rung(db *doorbell) {
+	db.vi, db.desc = nil, nil
+	n.dbFree = append(n.dbFree, db)
+}
 
 // Attributes describes the provider, mirroring VipQueryNic.
 func (n *Nic) Attributes() NicAttributes {

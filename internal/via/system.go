@@ -15,6 +15,7 @@ import (
 
 	"vibe/internal/cpu"
 	"vibe/internal/fabric"
+	"vibe/internal/nicsim"
 	"vibe/internal/provider"
 	"vibe/internal/sim"
 	"vibe/internal/vmem"
@@ -27,6 +28,36 @@ type System struct {
 	Net   *fabric.Network
 	Model *provider.Model
 	hosts []*Host
+
+	// bufs and pktFree are engine-local free lists for wire payload
+	// snapshots and wirePacket headers. Only packets outside any
+	// retransmission window are ever recycled (see recvEngine), so a
+	// pooled buffer can never alias an in-flight retransmission.
+	bufs    *nicsim.BufPool
+	pktFree []*wirePacket
+}
+
+// getPkt draws a zeroed wirePacket from the free list, allocating on miss.
+func (s *System) getPkt() *wirePacket {
+	if n := len(s.pktFree); n > 0 {
+		pkt := s.pktFree[n-1]
+		s.pktFree[n-1] = nil
+		s.pktFree = s.pktFree[:n-1]
+		return pkt
+	}
+	return &wirePacket{}
+}
+
+// recyclePkt returns a consumed packet (and its payload snapshot) to the
+// free lists. The caller must guarantee no reference to pkt or its data
+// survives — in particular that pkt is not parked in a sender's
+// retransmission window.
+func (s *System) recyclePkt(pkt *wirePacket) {
+	if pkt.data != nil {
+		s.bufs.Put(pkt.data)
+	}
+	*pkt = wirePacket{}
+	s.pktFree = append(s.pktFree, pkt)
 }
 
 // NewSystem builds a cluster of n hosts connected by the model's network.
@@ -35,7 +66,7 @@ type System struct {
 func NewSystem(model *provider.Model, n int, seed int64) *System {
 	eng := sim.NewEngine(seed)
 	net := fabric.New(eng, n, model.Network)
-	sys := &System{Eng: eng, Net: net, Model: model}
+	sys := &System{Eng: eng, Net: net, Model: model, bufs: nicsim.NewBufPool()}
 	for i := 0; i < n; i++ {
 		h := &Host{
 			sys: sys,

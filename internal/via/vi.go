@@ -222,7 +222,7 @@ func (v *Vi) PostSend(ctx *Ctx, d *Descriptor) error {
 	ctx.use(cost)
 
 	v.sendQ.post(d)
-	v.nic.doorbells.Push(&doorbell{vi: v, desc: d})
+	v.nic.ring(v, d)
 	return nil
 }
 
