@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-sim quick clean
+.PHONY: all build vet test race check cover bench bench-sim quick clean
 
 all: check
 
@@ -22,6 +22,12 @@ race:
 	$(GO) test -race ./internal/runner/...
 
 check: vet build test race
+
+# Coverage over every package, with the per-package summary printed and
+# the profile left in cover.out for `go tool cover -html=cover.out`.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # Time the quick-mode registry (sequential vs parallel) and write
 # BENCH_suite.json.

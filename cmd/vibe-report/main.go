@@ -10,46 +10,65 @@
 //	vibe-report -csv            # emit CSV instead of charts
 //	vibe-report -chart          # draw ASCII charts for series groups
 //	vibe-report -json out.json  # also save machine-readable results
+//	vibe-report -set DoorbellCost=2us          # override model parameters
+//	vibe-report -scenario tuned.json           # load a scenario file
+//	vibe-report -sweep TLBCapacity=8,32,128    # run the grid of scenarios
 //	vibe-report -compare base.json -tol 0.05   # diff against a saved set
 //	vibe-report -parallel 4     # run cells on 4 workers (default: NumCPU)
 //	vibe-report -bench BENCH_suite.json   # time sequential vs parallel passes
 //
 // Experiments are independent simulations, so they run concurrently across
 // a worker pool; output and saved results are assembled in registry order
-// and are byte-identical to a sequential (-parallel 1) run.
+// and are byte-identical to a sequential (-parallel 1) run. Sweep cells
+// fan out across the same pool. Saved result sets record their scenario
+// (base model, overrides, run config) as provenance, and -compare refuses
+// to diff sets from different scenarios unless -force is given.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 
 	"vibe/internal/bench"
 	"vibe/internal/core"
+	"vibe/internal/provider"
 	"vibe/internal/results"
 	"vibe/internal/runner"
 	"vibe/internal/table"
 )
 
+// repeatedFlag collects every occurrence of a repeatable string flag.
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string     { return strings.Join(*r, " ") }
+func (r *repeatedFlag) Set(v string) error { *r = append(*r, v); return nil }
+
 func main() {
+	var sets, sweeps repeatedFlag
 	var (
-		exp       = flag.String("exp", "", "experiment id to run (default: all)")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		quick     = flag.Bool("quick", false, "smaller sweeps")
-		csv       = flag.Bool("csv", false, "emit series groups as CSV")
-		chart     = flag.Bool("chart", false, "draw ASCII charts for series groups")
-		jsonOut   = flag.String("json", "", "save results to this JSON file (the paper's results-repository format)")
-		compare   = flag.String("compare", "", "diff results against this saved JSON baseline")
-		label     = flag.String("label", "", "label recorded in the JSON result set")
-		tol       = flag.Float64("tol", 0.02, "relative tolerance for -compare")
-		parallel  = flag.Int("parallel", runtime.NumCPU(), "number of experiment cells run concurrently")
-		benchOut  = flag.String("bench", "", "time sequential vs parallel and write the report to this JSON file (use with -quick for a fast pass)")
-		baseMs    = flag.Float64("bench-baseline-ms", 0, "earlier revision's sequential wall time in ms; with -bench, speedup is computed against it")
-		baseLabel = flag.String("bench-baseline-label", "", "label describing the -bench-baseline-ms revision")
+		exp          = flag.String("exp", "", "experiment id to run (default: all)")
+		list         = flag.Bool("list", false, "list experiments and exit")
+		quick        = flag.Bool("quick", false, "smaller sweeps")
+		csv          = flag.Bool("csv", false, "emit series groups as CSV")
+		chart        = flag.Bool("chart", false, "draw ASCII charts for series groups")
+		jsonOut      = flag.String("json", "", "save results to this JSON file (the paper's results-repository format)")
+		compare      = flag.String("compare", "", "diff results against this saved JSON baseline")
+		force        = flag.Bool("force", false, "compare even when scenario provenance differs")
+		label        = flag.String("label", "", "label recorded in the JSON result set")
+		tol          = flag.Float64("tol", 0.02, "relative tolerance for -compare")
+		parallel     = flag.Int("parallel", runtime.NumCPU(), "number of experiment cells run concurrently")
+		scenarioPath = flag.String("scenario", "", "JSON scenario file: {\"base\":..., \"set\":{...}, \"run\":{...}}")
+		benchOut     = flag.String("bench", "", "time sequential vs parallel and write the report to this JSON file (use with -quick for a fast pass)")
+		baseMs       = flag.Float64("bench-baseline-ms", 0, "earlier revision's sequential wall time in ms; with -bench, speedup is computed against it")
+		baseLabel    = flag.String("bench-baseline-label", "", "label describing the -bench-baseline-ms revision")
 	)
+	flag.Var(&sets, "set", "override a model parameter, e.g. -set DoorbellCost=2us (repeatable)")
+	flag.Var(&sweeps, "sweep", "sweep a parameter over values, e.g. -sweep TLBCapacity=8,32,128 (repeatable; cells form a grid)")
 	flag.Parse()
 
 	exps := core.Experiments()
@@ -62,24 +81,37 @@ func main() {
 	if *exp != "" {
 		e, err := core.ExperimentByID(strings.ToUpper(*exp))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		exps = []*core.Experiment{e}
 	}
 
+	spec, err := buildSpec(*scenarioPath, sets)
+	if err != nil {
+		fatal(err)
+	}
+	specs, err := core.ExpandSweeps(spec, sweeps)
+	if err != nil {
+		fatal(err)
+	}
+	scs, err := core.CompileScenarios(specs, *quick)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *benchOut != "" {
-		b, err := runner.BenchSuite(exps, runner.Options{Quick: *quick, Workers: *parallel}, *label)
+		if len(scs) > 1 {
+			fatal(fmt.Errorf("-bench times one scenario; drop -sweep"))
+		}
+		b, err := runner.BenchSuite(exps, runner.Options{Quick: *quick, Workers: *parallel, Scenario: scs[0]}, *label)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if *baseMs > 0 {
 			b.SetBaseline(*baseLabel, *baseMs)
 		}
 		if err := b.Save(*benchOut); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("%d experiments: sequential %.1f ms, parallel %.1f ms (%d workers)\n",
 			len(b.Experiments), b.SequentialMs, b.ParallelMs, b.Workers)
@@ -92,67 +124,111 @@ func main() {
 		return
 	}
 
-	cells := runner.Run(exps, runner.Options{Quick: *quick, Workers: *parallel})
-	if err := runner.FirstError(cells); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	grid := runner.RunGrid(exps, scs, runner.Options{Workers: *parallel})
+	if err := runner.FirstGridError(grid); err != nil {
+		fatal(err)
 	}
 
-	set := &results.Set{Label: *label}
-	for i, e := range exps {
-		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		fmt.Printf("paper: %s\n\n", e.PaperClaim)
-		rep := cells[i].Report
-		for _, t := range rep.Tables {
-			t.Render(os.Stdout)
-			fmt.Println()
+	exitCode := 0
+	for si, row := range grid {
+		if len(scs) > 1 {
+			fmt.Printf("########## scenario: %s ##########\n\n", scs[si].Label())
 		}
-		for _, g := range rep.Groups {
-			if *csv {
-				fmt.Printf("# %s\n", g.Title)
-				g.RenderCSV(os.Stdout)
+		set := &results.Set{Label: *label, Scenario: results.ProvenanceOf(scs[si])}
+		for i, e := range exps {
+			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			fmt.Printf("paper: %s\n\n", e.PaperClaim)
+			rep := row[i].Report
+			for _, t := range rep.Tables {
+				t.Render(os.Stdout)
 				fmt.Println()
-				continue
 			}
-			t := groupTable(g)
-			t.Render(os.Stdout)
-			fmt.Println()
-			if *chart {
-				c := table.NewChart(g.Title, g.Series[0].XLabel, g.Series[0].YLabel)
-				for _, s := range g.Series {
-					xs, ys := s.XY()
-					c.Add(s.Name, xs, ys)
+			for _, g := range rep.Groups {
+				if *csv {
+					fmt.Printf("# %s\n", g.Title)
+					g.RenderCSV(os.Stdout)
+					fmt.Println()
+					continue
 				}
-				c.Render(os.Stdout, 72, 16)
+				t := groupTable(g)
+				t.Render(os.Stdout)
 				fmt.Println()
+				if *chart {
+					c := table.NewChart(g.Title, g.Series[0].XLabel, g.Series[0].YLabel)
+					for _, s := range g.Series {
+						xs, ys := s.XY()
+						c.Add(s.Name, xs, ys)
+					}
+					c.Render(os.Stdout, 72, 16)
+					fmt.Println()
+				}
+			}
+			for _, n := range rep.Notes {
+				fmt.Printf("note: %s\n", n)
+			}
+			fmt.Println()
+			set.Experiments = append(set.Experiments, results.FromReport(e.ID, rep))
+		}
+
+		if *jsonOut != "" {
+			path := cellPath(*jsonOut, si, len(scs))
+			if err := results.Save(path, set); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("results saved to %s\n", path)
+		}
+		if *compare != "" {
+			base, err := results.Load(*compare)
+			if err != nil {
+				fatal(err)
+			}
+			diffs, err := results.CompareChecked(base, set, *tol, *force)
+			if err != nil {
+				fatal(err)
+			}
+			results.Render(os.Stdout, diffs, *tol)
+			if len(diffs) > 0 {
+				exitCode = 2
 			}
 		}
-		for _, n := range rep.Notes {
-			fmt.Printf("note: %s\n", n)
-		}
-		fmt.Println()
-		set.Experiments = append(set.Experiments, results.FromReport(e.ID, rep))
 	}
+	os.Exit(exitCode)
+}
 
-	if *jsonOut != "" {
-		if err := results.Save(*jsonOut, set); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("results saved to %s\n", *jsonOut)
-	}
-	if *compare != "" {
-		base, err := results.Load(*compare)
+// buildSpec assembles the scenario spec from -scenario and -set flags;
+// -set entries win over the file's.
+func buildSpec(path string, sets []string) (core.ScenarioSpec, error) {
+	var spec core.ScenarioSpec
+	if path != "" {
+		s, err := core.LoadScenarioSpec(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return spec, err
 		}
-		diffs := results.Compare(base, set, *tol)
-		results.Render(os.Stdout, diffs, *tol)
-		if len(diffs) > 0 {
-			os.Exit(2)
+		spec = s
+	}
+	if len(sets) > 0 {
+		kv, err := provider.ParseSet(sets)
+		if err != nil {
+			return spec, err
+		}
+		if spec.Set == nil {
+			spec.Set = map[string]string{}
+		}
+		for k, v := range kv {
+			spec.Set[k] = v
 		}
 	}
+	return spec, nil
+}
+
+// cellPath derives a per-cell output path for sweep grids: out.json of a
+// three-cell sweep becomes out.cell0.json, out.cell1.json, out.cell2.json.
+func cellPath(path string, i, n int) string {
+	if n == 1 {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.cell%d%s", strings.TrimSuffix(path, ext), i, ext)
 }
 
 // groupTable renders a series group as a wide table: the x column plus one
@@ -186,4 +262,9 @@ func groupTable(g *bench.Group) *table.Table {
 		t.AddRow(row...)
 	}
 	return t
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vibe-report:", err)
+	os.Exit(1)
 }

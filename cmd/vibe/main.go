@@ -8,9 +8,9 @@
 //	vibe -provider bvia -bench bandwidth -vis 16
 //	vibe -provider mvia -bench latency -mode block -cq
 //	vibe -provider clan -bench clientserver -req 16
-//	vibe -provider mvia -bench nondata
-//	vibe -provider bvia -bench memreg
-//	vibe -provider clan -bench logp
+//	vibe -provider clan -bench latency -set DoorbellCost=2us
+//	vibe -provider clan -bench latency -sweep TLBCapacity=8,32,128
+//	vibe -provider mvia -bench bandwidth -scenario tuned.json
 //	vibe -bench suite -quick -parallel 4
 package main
 
@@ -32,40 +32,234 @@ import (
 	"vibe/internal/via"
 )
 
+// benchArgs is everything a benchmark needs to run one scenario cell:
+// cfg.Model is already the scenario-derived model.
+type benchArgs struct {
+	cfg   core.Config
+	o     core.XferOpts
+	sizes []int
+	req   int
+}
+
+// benchSpec is one registry entry. The help string for -bench is derived
+// from the registry, so adding a benchmark here is the single change.
+type benchSpec struct {
+	name string
+	run  func(a benchArgs) (*core.Report, error)
+}
+
+func benches() []benchSpec {
+	return []benchSpec{
+		{"latency", func(a benchArgs) (*core.Report, error) {
+			lat, cpuU, err := core.LatencySweep(a.cfg, a.sizes, a.o)
+			if err != nil {
+				return nil, err
+			}
+			t := table.New(fmt.Sprintf("%s latency (%s)", a.cfg.Model.Name, a.o.Mode),
+				"size (bytes)", "latency (us)", "CPU (%)")
+			for i, p := range lat.Points {
+				t.AddRow(int(p.X), p.Y, cpuU.Points[i].Y)
+			}
+			return &core.Report{Tables: []*table.Table{t}}, nil
+		}},
+		{"bandwidth", func(a benchArgs) (*core.Report, error) {
+			bw, cpuU, err := core.BandwidthSweep(a.cfg, a.sizes, a.o)
+			if err != nil {
+				return nil, err
+			}
+			t := table.New(fmt.Sprintf("%s bandwidth (%s)", a.cfg.Model.Name, a.o.Mode),
+				"size (bytes)", "bandwidth (MB/s)", "CPU (%)")
+			for i, p := range bw.Points {
+				t.AddRow(int(p.X), p.Y, cpuU.Points[i].Y)
+			}
+			return &core.Report{Tables: []*table.Table{t}}, nil
+		}},
+		{"clientserver", func(a benchArgs) (*core.Report, error) {
+			s, err := core.ClientServer(a.cfg, a.req, a.sizes)
+			if err != nil {
+				return nil, err
+			}
+			t := table.New(fmt.Sprintf("%s client-server, %dB requests", a.cfg.Model.Name, a.req),
+				"reply size (bytes)", "transactions/s")
+			for _, p := range s.Points {
+				t.AddRow(int(p.X), p.Y)
+			}
+			return &core.Report{Tables: []*table.Table{t}}, nil
+		}},
+		{"nondata", func(a benchArgs) (*core.Report, error) {
+			c, err := core.NonData(a.cfg)
+			if err != nil {
+				return nil, err
+			}
+			t := table.New(fmt.Sprintf("%s non-data transfer costs (us)", a.cfg.Model.Name),
+				"operation", "cost")
+			t.AddRow("create VI", c.CreateVi)
+			t.AddRow("destroy VI", c.DestroyVi)
+			t.AddRow("establish connection", c.EstablishConn)
+			t.AddRow("tear down connection", c.TeardownConn)
+			t.AddRow("create CQ", c.CreateCq)
+			t.AddRow("destroy CQ", c.DestroyCq)
+			return &core.Report{Tables: []*table.Table{t}}, nil
+		}},
+		{"memreg", func(a benchArgs) (*core.Report, error) {
+			s, err := core.MemRegister(a.cfg, core.RegLadder())
+			if err != nil {
+				return nil, err
+			}
+			return regReport(a.cfg.Model.Name, "memreg", s), nil
+		}},
+		{"memdereg", func(a benchArgs) (*core.Report, error) {
+			s, err := core.MemDeregister(a.cfg, core.RegLadder())
+			if err != nil {
+				return nil, err
+			}
+			return regReport(a.cfg.Model.Name, "memdereg", s), nil
+		}},
+		{"logp", func(a benchArgs) (*core.Report, error) {
+			ins, err := logp.Explain(a.cfg.Model)
+			if err != nil {
+				return nil, err
+			}
+			return &core.Report{Notes: []string{
+				fmt.Sprintf("%s LogP parameters: %v", a.cfg.Model.Name, ins.Params),
+				"LogP-predicted small-message latency is constant, yet:",
+				fmt.Sprintf("  base 4B latency:            %8.2f us", ins.BaseLatencyUs),
+				fmt.Sprintf("  with 16 open VIs:           %8.2f us", ins.LatencyAt16VIs),
+				fmt.Sprintf("  with 0%% buffer reuse:       %8.2f us", ins.LatencyAt0Reuse),
+				"This spread is what VIBe measures and LogP cannot (paper §1).",
+			}}, nil
+		}},
+		{"mp", func(a benchArgs) (*core.Report, error) {
+			s, err := core.MPLatency(a.cfg, a.sizes, mp.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			t := table.New(fmt.Sprintf("%s message-passing layer latency", a.cfg.Model.Name),
+				"size (bytes)", "latency (us)")
+			for _, p := range s.Points {
+				t.AddRow(int(p.X), p.Y)
+			}
+			return &core.Report{Tables: []*table.Table{t}}, nil
+		}},
+		{"getput", func(a benchArgs) (*core.Report, error) {
+			t := table.New(fmt.Sprintf("%s get/put layer latency", a.cfg.Model.Name),
+				"size (bytes)", "put (us)", "get (us)")
+			for _, size := range a.sizes {
+				put, get, err := core.GPLatency(a.cfg, size)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(size, put, get)
+			}
+			return &core.Report{Tables: []*table.Table{t}}, nil
+		}},
+	}
+}
+
+func regReport(model, which string, s *bench.Series) *core.Report {
+	t := table.New(fmt.Sprintf("%s %s cost", model, which), "buffer (bytes)", "cost (us)")
+	for _, p := range s.Points {
+		t.AddRow(int(p.X), p.Y)
+	}
+	return &core.Report{Tables: []*table.Table{t}}
+}
+
+func benchByName(name string) (benchSpec, bool) {
+	for _, b := range benches() {
+		if b.name == name {
+			return b, true
+		}
+	}
+	return benchSpec{}, false
+}
+
+// benchHelp and providerHelp derive the flag descriptions from the
+// registries, so the help text cannot drift from what actually runs.
+func benchHelp() string {
+	names := make([]string, 0, len(benches())+1)
+	for _, b := range benches() {
+		names = append(names, b.name)
+	}
+	names = append(names, "suite")
+	return "benchmark: " + strings.Join(names, ", ")
+}
+
+func providerHelp() string {
+	return "provider model: " + strings.Join(provider.Names(), ", ")
+}
+
+// repeatedFlag collects every occurrence of a repeatable string flag.
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string     { return strings.Join(*r, " ") }
+func (r *repeatedFlag) Set(v string) error { *r = append(*r, v); return nil }
+
 func main() {
+	var sets, sweeps repeatedFlag
 	var (
-		prov     = flag.String("provider", "clan", "provider model: mvia, bvia, clan, firmvia, iba")
-		benchSel = flag.String("bench", "latency", "benchmark: latency, bandwidth, clientserver, nondata, memreg, memdereg, logp, mp, getput")
-		sizesArg = flag.String("sizes", "", "comma-separated message sizes (default: paper ladder)")
-		mode     = flag.String("mode", "poll", "completion mode: poll or block")
-		useCQ    = flag.Bool("cq", false, "check receive completions via a completion queue")
-		reuse    = flag.Int("reuse", -1, "buffer reuse percent 0..100 (-1 = base: one buffer)")
-		vis      = flag.Int("vis", 1, "number of open VIs")
-		segs     = flag.Int("segments", 1, "data segments per descriptor")
-		rdma     = flag.Bool("rdma", false, "use RDMA writes with immediate data")
-		notify   = flag.Bool("notify", false, "server handles receives via async handler")
-		window   = flag.Int("window", 0, "sender pipeline bound for bandwidth (0 = unbounded)")
-		rel      = flag.String("reliability", "unreliable", "unreliable, delivery, reception")
-		req      = flag.Int("req", 16, "request size for clientserver")
-		iters    = flag.Int("iters", 0, "override timed iterations")
-		csv      = flag.Bool("csv", false, "emit CSV")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count for -bench suite")
-		quick    = flag.Bool("quick", false, "smaller sweeps for -bench suite")
+		prov         = flag.String("provider", "clan", providerHelp())
+		benchSel     = flag.String("bench", "latency", benchHelp())
+		scenarioPath = flag.String("scenario", "", "JSON scenario file: {\"base\":..., \"set\":{...}, \"run\":{...}}")
+		sizesArg     = flag.String("sizes", "", "comma-separated message sizes (default: paper ladder)")
+		mode         = flag.String("mode", "poll", "completion mode: poll or block")
+		useCQ        = flag.Bool("cq", false, "check receive completions via a completion queue")
+		reuse        = flag.Int("reuse", -1, "buffer reuse percent 0..100 (-1 = base: one buffer)")
+		vis          = flag.Int("vis", 1, "number of open VIs")
+		segs         = flag.Int("segments", 1, "data segments per descriptor")
+		rdma         = flag.Bool("rdma", false, "use RDMA writes with immediate data")
+		notify       = flag.Bool("notify", false, "server handles receives via async handler")
+		window       = flag.Int("window", 0, "sender pipeline bound for bandwidth (0 = unbounded)")
+		rel          = flag.String("reliability", "unreliable", "unreliable, delivery, reception")
+		req          = flag.Int("req", 16, "request size for clientserver")
+		iters        = flag.Int("iters", 0, "override timed iterations")
+		csv          = flag.Bool("csv", false, "emit CSV")
+		parallel     = flag.Int("parallel", runtime.NumCPU(), "worker count for -bench suite and -sweep cells")
+		quick        = flag.Bool("quick", false, "smaller sweeps for -bench suite")
+		params       = flag.Bool("params", false, "list the model parameter catalog (-set/-sweep names) and exit")
 	)
+	flag.Var(&sets, "set", "override a model parameter, e.g. -set DoorbellCost=2us (repeatable; see provider catalog)")
+	flag.Var(&sweeps, "sweep", "sweep a parameter over values, e.g. -sweep TLBCapacity=8,32,128 (repeatable; cells form a grid)")
 	flag.Parse()
 
-	if *benchSel == "suite" {
-		runSuite(*quick, *parallel)
+	if *params {
+		for _, p := range provider.Params() {
+			fmt.Printf("%-19s %-8s %-22s %s\n", p.Name, p.Kind, p.Unit, p.Doc)
+		}
 		return
 	}
 
-	m, err := provider.ByNameExtended(*prov)
+	spec, err := buildSpec(*scenarioPath, sets)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := core.DefaultConfig(m)
-	if *iters > 0 {
-		cfg.Iters = *iters
+	specs, err := core.ExpandSweeps(spec, sweeps)
+	if err != nil {
+		fatal(err)
+	}
+	scs, err := core.CompileScenarios(specs, *quick)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *benchSel == "suite" {
+		runSuite(scs, *parallel)
+		return
+	}
+
+	b, ok := benchByName(*benchSel)
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark %q (have: %s)", *benchSel, benchHelp()))
+	}
+
+	// The scenario file's base model is the default provider; an explicit
+	// -provider flag wins over it.
+	baseName := *prov
+	if spec.Base != "" && !flagWasSet("provider") {
+		baseName = spec.Base
+	}
+	m, err := provider.ByNameExtended(baseName)
+	if err != nil {
+		fatal(err)
 	}
 
 	o := core.XferOpts{
@@ -105,132 +299,109 @@ func main() {
 		}
 	}
 
-	emit := func(t *table.Table) {
-		if *csv {
-			t.RenderCSV(os.Stdout)
-		} else {
-			t.Render(os.Stdout)
+	// Each (benchmark, scenario) cell runs as a synthetic experiment on the
+	// runner's pool, so sweep grids parallelize exactly like the suite.
+	exp := &core.Experiment{
+		ID:    b.name,
+		Title: b.name,
+		Run: func(sc *core.Scenario) (*core.Report, error) {
+			cfg := sc.Config(m)
+			if *iters > 0 {
+				cfg.Iters = *iters
+			}
+			return b.run(benchArgs{cfg: cfg, o: o, sizes: sizes, req: *req})
+		},
+	}
+	grid := runner.RunGrid([]*core.Experiment{exp}, scs, runner.Options{Workers: *parallel})
+	for si, row := range grid {
+		if len(scs) > 1 {
+			fmt.Printf("--- scenario: %s ---\n", scs[si].Label())
+		}
+		c := &row[0]
+		if c.Err != nil {
+			if c.Skipped() {
+				continue
+			}
+			fatal(c.Err)
+		}
+		for _, t := range c.Report.Tables {
+			if *csv {
+				t.RenderCSV(os.Stdout)
+			} else {
+				t.Render(os.Stdout)
+			}
+		}
+		for _, n := range c.Report.Notes {
+			fmt.Println(n)
+		}
+		if len(scs) > 1 {
+			fmt.Println()
 		}
 	}
-
-	switch *benchSel {
-	case "latency":
-		lat, cpuU, err := core.LatencySweep(cfg, sizes, o)
-		if err != nil {
-			fatal(err)
-		}
-		t := table.New(fmt.Sprintf("%s latency (%s)", m.Name, o.Mode),
-			"size (bytes)", "latency (us)", "CPU (%)")
-		for i, p := range lat.Points {
-			t.AddRow(int(p.X), p.Y, cpuU.Points[i].Y)
-		}
-		emit(t)
-	case "bandwidth":
-		bw, cpuU, err := core.BandwidthSweep(cfg, sizes, o)
-		if err != nil {
-			fatal(err)
-		}
-		t := table.New(fmt.Sprintf("%s bandwidth (%s)", m.Name, o.Mode),
-			"size (bytes)", "bandwidth (MB/s)", "CPU (%)")
-		for i, p := range bw.Points {
-			t.AddRow(int(p.X), p.Y, cpuU.Points[i].Y)
-		}
-		emit(t)
-	case "clientserver":
-		s, err := core.ClientServer(cfg, *req, sizes)
-		if err != nil {
-			fatal(err)
-		}
-		t := table.New(fmt.Sprintf("%s client-server, %dB requests", m.Name, *req),
-			"reply size (bytes)", "transactions/s")
-		for _, p := range s.Points {
-			t.AddRow(int(p.X), p.Y)
-		}
-		emit(t)
-	case "nondata":
-		c, err := core.NonData(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		t := table.New(fmt.Sprintf("%s non-data transfer costs (us)", m.Name), "operation", "cost")
-		t.AddRow("create VI", c.CreateVi)
-		t.AddRow("destroy VI", c.DestroyVi)
-		t.AddRow("establish connection", c.EstablishConn)
-		t.AddRow("tear down connection", c.TeardownConn)
-		t.AddRow("create CQ", c.CreateCq)
-		t.AddRow("destroy CQ", c.DestroyCq)
-		emit(t)
-	case "memreg", "memdereg":
-		var s *bench.Series
-		var err error
-		if *benchSel == "memreg" {
-			s, err = core.MemRegister(cfg, core.RegLadder())
-		} else {
-			s, err = core.MemDeregister(cfg, core.RegLadder())
-		}
-		if err != nil {
-			fatal(err)
-		}
-		t := table.New(fmt.Sprintf("%s %s cost", m.Name, *benchSel), "buffer (bytes)", "cost (us)")
-		for _, p := range s.Points {
-			t.AddRow(int(p.X), p.Y)
-		}
-		emit(t)
-	case "mp":
-		s, err := core.MPLatency(cfg, sizes, mp.DefaultConfig())
-		if err != nil {
-			fatal(err)
-		}
-		t := table.New(fmt.Sprintf("%s message-passing layer latency", m.Name),
-			"size (bytes)", "latency (us)")
-		for _, p := range s.Points {
-			t.AddRow(int(p.X), p.Y)
-		}
-		emit(t)
-	case "getput":
-		t := table.New(fmt.Sprintf("%s get/put layer latency", m.Name),
-			"size (bytes)", "put (us)", "get (us)")
-		for _, size := range sizes {
-			put, get, err := core.GPLatency(cfg, size)
-			if err != nil {
-				fatal(err)
-			}
-			t.AddRow(size, put, get)
-		}
-		emit(t)
-	case "logp":
-		ins, err := logp.Explain(m)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%s LogP parameters: %v\n", m.Name, ins.Params)
-		fmt.Printf("LogP-predicted small-message latency is constant, yet:\n")
-		fmt.Printf("  base 4B latency:            %8.2f us\n", ins.BaseLatencyUs)
-		fmt.Printf("  with 16 open VIs:           %8.2f us\n", ins.LatencyAt16VIs)
-		fmt.Printf("  with 0%% buffer reuse:       %8.2f us\n", ins.LatencyAt0Reuse)
-		fmt.Printf("This spread is what VIBe measures and LogP cannot (paper §1).\n")
-	default:
-		fatal(fmt.Errorf("unknown benchmark %q", *benchSel))
+	if err := runner.FirstGridError(grid); err != nil {
+		os.Exit(1)
 	}
 }
 
-// runSuite executes the whole experiment registry across the runner's
-// worker pool, printing a one-line status per cell in registry order.
-func runSuite(quick bool, workers int) {
-	exps := core.Experiments()
-	cells := runner.Run(exps, runner.Options{Quick: quick, Workers: workers})
-	for i := range cells {
-		c := &cells[i]
-		switch {
-		case c.Skipped():
-			fmt.Printf("%-8s skipped\n", c.ID)
-		case c.Err != nil:
-			fmt.Printf("%-8s FAILED: %v\n", c.ID, c.Err)
-		default:
-			fmt.Printf("%-8s ok  %8.1f ms  %s\n", c.ID, float64(c.Wall.Microseconds())/1000, exps[i].Title)
+// buildSpec assembles the scenario spec from -scenario and -set flags;
+// -set entries win over the file's.
+func buildSpec(path string, sets []string) (core.ScenarioSpec, error) {
+	var spec core.ScenarioSpec
+	if path != "" {
+		s, err := core.LoadScenarioSpec(path)
+		if err != nil {
+			return spec, err
+		}
+		spec = s
+	}
+	if len(sets) > 0 {
+		kv, err := provider.ParseSet(sets)
+		if err != nil {
+			return spec, err
+		}
+		if spec.Set == nil {
+			spec.Set = map[string]string{}
+		}
+		for k, v := range kv {
+			spec.Set[k] = v
 		}
 	}
-	if err := runner.FirstError(cells); err != nil {
+	return spec, nil
+}
+
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runSuite executes the whole experiment registry (times each scenario in
+// the grid) across the runner's worker pool, printing a one-line status
+// per cell in registry order.
+func runSuite(scs []*core.Scenario, workers int) {
+	exps := core.Experiments()
+	grid := runner.RunGrid(exps, scs, runner.Options{Workers: workers})
+	for si, row := range grid {
+		if len(scs) > 1 {
+			fmt.Printf("=== scenario: %s ===\n", scs[si].Label())
+		}
+		for i := range row {
+			c := &row[i]
+			switch {
+			case c.Skipped():
+				fmt.Printf("%-8s skipped\n", c.ID)
+			case c.Err != nil:
+				fmt.Printf("%-8s FAILED: %v\n", c.ID, c.Err)
+			default:
+				fmt.Printf("%-8s ok  %8.1f ms  %s\n", c.ID, float64(c.Wall.Microseconds())/1000, exps[i].Title)
+			}
+		}
+	}
+	if err := runner.FirstGridError(grid); err != nil {
 		fatal(err)
 	}
 }

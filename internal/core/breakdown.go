@@ -169,19 +169,20 @@ func expBREAK() *Experiment {
 			"is dominated by kernel copies at large sizes and the syscall " +
 			"doorbell at small; Berkeley VIA's by LANai per-fragment firmware; " +
 			"cLAN's by the wire itself.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			var tables []*table.Table
 			sizes := []int{4, 4096, 28672}
-			if quick {
+			if sc.Quick {
 				sizes = []int{4, 28672}
 			}
 			for _, m := range provider.All() {
+				cfg := sc.Config(m)
 				headers := append([]string{"component"}, sizeHeaders(sizes)...)
 				t := table.New(fmt.Sprintf("%s one-way latency breakdown (us)", m.Name), headers...)
 				rows := map[string][]interface{}{}
 				var order []string
 				for _, size := range sizes {
-					b := AnalyzeLatency(m, size)
+					b := AnalyzeLatency(cfg.Model, size)
 					for _, c := range b.components() {
 						if _, ok := rows[c.Name]; !ok {
 							order = append(order, c.Name)
@@ -195,7 +196,6 @@ func expBREAK() *Experiment {
 						rows["measured"] = []interface{}{"measured"}
 						rows["error"] = []interface{}{"error"}
 					}
-					cfg := cfgFor(m, quick)
 					an, me, re, err := ValidateBreakdown(cfg, size)
 					if err != nil {
 						return nil, err

@@ -20,25 +20,21 @@ type Report struct {
 }
 
 // Experiment regenerates one paper artifact (table or figure) or one
-// ablation.
+// ablation. Run receives the scenario whose design point the experiment
+// should measure: experiments derive every model and configuration from
+// it, so parameter overrides and sweeps apply to the entire registry
+// without per-experiment wiring.
 type Experiment struct {
 	ID         string
 	Title      string
 	PaperClaim string
-	Run        func(quick bool) (*Report, error)
+	Run        func(sc *Scenario) (*Report, error)
 }
 
-// cfgFor builds the run configuration, shrinking the workload in quick
-// mode (tests and smoke runs).
+// cfgFor builds the default-scenario run configuration (tests and
+// benchmarks that don't vary parameters).
 func cfgFor(m *provider.Model, quick bool) Config {
-	cfg := DefaultConfig(m)
-	if quick {
-		cfg.Iters = 20
-		cfg.Warmup = 5
-		cfg.BWMessages = 40
-		cfg.NonDataReps = 3
-	}
-	return cfg
+	return DefaultScenario(quick).Config(m)
 }
 
 func ladder(quick bool) []int {
@@ -79,11 +75,11 @@ func expT1() *Experiment {
 		PaperClaim: "Connection establishment is extremely expensive on cLAN " +
 			"(2454us) and worst on M-VIA (6465us); CQ creation is most " +
 			"expensive on BVIA (206us); VI creation is cheapest on cLAN (3us).",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			t := table.New("Table 1 (reproduced)", "Operation", "M-VIA", "BVIA", "cLAN")
 			var costs []NonDataCosts
 			for _, m := range provider.All() {
-				c, err := NonData(cfgFor(m, quick))
+				c, err := NonData(sc.Config(m))
 				if err != nil {
 					return nil, err
 				}
@@ -110,10 +106,10 @@ func expF1() *Experiment {
 		PaperClaim: "Registration is most expensive on BVIA for buffers up to " +
 			"~20KB (flat ~21us base); M-VIA is cheap for small buffers but grows " +
 			"steeply per page and crosses BVIA around 20KB; costs reach ~35us.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			g := bench.NewGroup("memory registration cost")
 			for _, m := range provider.All() {
-				s, err := MemRegister(cfgFor(m, quick), RegLadder())
+				s, err := MemRegister(sc.Config(m), RegLadder())
 				if err != nil {
 					return nil, err
 				}
@@ -131,11 +127,11 @@ func expF2() *Experiment {
 		PaperClaim: "Deregistration is much cheaper than registration and " +
 			"essentially flat in region size (below ~16us even for 32MB); " +
 			"BVIA is the most expensive, M-VIA the cheapest.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			sizes := append(RegLadder(), 1<<20, 32<<20)
 			g := bench.NewGroup("memory deregistration cost")
 			for _, m := range provider.All() {
-				s, err := MemDeregister(cfgFor(m, quick), sizes)
+				s, err := MemDeregister(sc.Config(m), sizes)
 				if err != nil {
 					return nil, err
 				}
@@ -153,16 +149,16 @@ func expF3() *Experiment {
 		PaperClaim: "cLAN has the lowest latency; M-VIA beats BVIA for short " +
 			"messages but loses for long ones (extra kernel copies); cLAN has the " +
 			"best bandwidth over most sizes but BVIA wins for large messages.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			lat := bench.NewGroup("base latency, polling (LATbase)")
 			bw := bench.NewGroup("base bandwidth, polling (BWbase)")
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
-				l, _, err := LatencySweep(cfg, ladder(quick), XferOpts{})
+				cfg := sc.Config(m)
+				l, _, err := LatencySweep(cfg, ladder(sc.Quick), XferOpts{})
 				if err != nil {
 					return nil, err
 				}
-				b, _, err := BandwidthSweep(cfg, ladder(quick), XferOpts{})
+				b, _, err := BandwidthSweep(cfg, ladder(sc.Quick), XferOpts{})
 				if err != nil {
 					return nil, err
 				}
@@ -182,12 +178,12 @@ func expF4() *Experiment {
 		PaperClaim: "Blocking latency is significantly higher than polling; CPU " +
 			"utilizations are comparable across implementations for most sizes, " +
 			"with M-VIA (kernel emulation) highest for small messages.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			lat := bench.NewGroup("base latency, blocking (LATbase-block)")
 			cpuG := bench.NewGroup("CPU utilization, blocking (CPUbase-block)")
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
-				l, c, err := LatencySweep(cfg, ladder(quick), XferOpts{Mode: Blocking})
+				cfg := sc.Config(m)
+				l, c, err := LatencySweep(cfg, ladder(sc.Quick), XferOpts{Mode: Blocking})
 				if err != nil {
 					return nil, err
 				}
@@ -208,23 +204,23 @@ func expF5() *Experiment {
 			"cache), lowering buffer reuse raises latency and lowers bandwidth " +
 			"substantially, worst for large (multi-page) messages; M-VIA and cLAN " +
 			"are insensitive.",
-		Run: func(quick bool) (*Report, error) {
-			cfg := cfgFor(provider.BVIA(), quick)
+		Run: func(sc *Scenario) (*Report, error) {
+			cfg := sc.Config(provider.BVIA())
 			pcts := []int{0, 25, 50, 75, 100}
-			if quick {
+			if sc.Quick {
 				pcts = []int{0, 50, 100}
 			}
-			latG, err := ReuseSweep(cfg, ladder(quick), pcts, false)
+			latG, err := ReuseSweep(cfg, ladder(sc.Quick), pcts, false)
 			if err != nil {
 				return nil, err
 			}
-			bwG, err := ReuseSweep(cfg, ladder(quick), pcts, true)
+			bwG, err := ReuseSweep(cfg, ladder(sc.Quick), pcts, true)
 			if err != nil {
 				return nil, err
 			}
 			notes := []string{}
 			for _, m := range []*provider.Model{provider.MVIA(), provider.CLAN()} {
-				c := cfgFor(m, quick)
+				c := sc.Config(m)
 				g, err := ReuseSweep(c, []int{28672}, []int{0, 100}, false)
 				if err != nil {
 					return nil, err
@@ -245,23 +241,23 @@ func expF6() *Experiment {
 		PaperClaim: "BVIA firmware polls all VIs' send structures, so latency " +
 			"rises and bandwidth falls significantly with the number of open VIs; " +
 			"M-VIA and cLAN are insensitive.",
-		Run: func(quick bool) (*Report, error) {
-			cfg := cfgFor(provider.BVIA(), quick)
+		Run: func(sc *Scenario) (*Report, error) {
+			cfg := sc.Config(provider.BVIA())
 			vis := []int{1, 2, 4, 8, 16, 32}
-			if quick {
+			if sc.Quick {
 				vis = []int{1, 4, 16}
 			}
-			latG, err := MultiViSweep(cfg, ladder(quick), vis, false)
+			latG, err := MultiViSweep(cfg, ladder(sc.Quick), vis, false)
 			if err != nil {
 				return nil, err
 			}
-			bwG, err := MultiViSweep(cfg, ladder(quick), vis, true)
+			bwG, err := MultiViSweep(cfg, ladder(sc.Quick), vis, true)
 			if err != nil {
 				return nil, err
 			}
 			notes := []string{}
 			for _, m := range []*provider.Model{provider.MVIA(), provider.CLAN()} {
-				c := cfgFor(m, quick)
+				c := sc.Config(m)
 				g, err := MultiViSweep(c, []int{4}, []int{1, 16}, false)
 				if err != nil {
 					return nil, err
@@ -282,12 +278,12 @@ func expF7() *Experiment {
 		PaperClaim: "cLAN sustains the most transactions (~55K/s at 16B); M-VIA " +
 			"beats BVIA for short replies, BVIA wins for mid-size replies; for " +
 			"long replies the paper reports them converging.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			g := bench.NewGroup("client-server transactions per second")
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
+				cfg := sc.Config(m)
 				for _, req := range []int{16, 256} {
-					s, err := ClientServer(cfg, req, ladder(quick))
+					s, err := ClientServer(cfg, req, ladder(sc.Quick))
 					if err != nil {
 						return nil, err
 					}
@@ -310,10 +306,10 @@ func expTCQ() *Experiment {
 		Title: "Section 4.3.3: completion queue overhead",
 		PaperClaim: "Checking receive completions through a CQ costs 2-5us on " +
 			"BVIA and is negligible on M-VIA and cLAN.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			t := table.New("CQ overhead (LATcq - LATbase, us)", "Provider", "4B", "1KB", "28KB")
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
+				cfg := sc.Config(m)
 				_, _, d, err := CQOverhead(cfg, []int{4, 1024, 28672})
 				if err != nil {
 					return nil, err

@@ -91,15 +91,15 @@ func expPMDSM() *Experiment {
 			"a page fetch plus a flush; the underlying VIA's latency and RDMA " +
 			"capabilities set the price, so cLAN-class hardware should halve " +
 			"M-VIA's critical-section time.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			t := table.New("DSM lock-protected counter increment (us/op)",
 				"Provider", "2 nodes", "3 nodes", "4 nodes")
 			incs := 20
-			if quick {
+			if sc.Quick {
 				incs = 8
 			}
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
+				cfg := sc.Config(m)
 				row := []interface{}{m.Name}
 				for _, n := range []int{2, 3, 4} {
 					us, _, err := DSMLockContention(cfg, n, incs)

@@ -18,12 +18,12 @@ func expXSEG() *Experiment {
 		Title: "3.2.5: impact of multiple data segments (LATseg)",
 		PaperClaim: "Gather/scatter across more data segments adds per-segment " +
 			"descriptor-processing cost on every provider.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			g := bench.NewGroup("latency vs data segments (4KB messages)")
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
+				cfg := sc.Config(m)
 				segs := []int{1, 2, 4}
-				if m.MaxSegments >= 8 && !quick {
+				if cfg.Model.MaxSegments >= 8 && !sc.Quick {
 					segs = append(segs, 8)
 				}
 				s := bench.NewSeries(m.Name, "data segments", "latency (us)")
@@ -48,11 +48,11 @@ func expXASY() *Experiment {
 		PaperClaim: "Handling receives through an asynchronous completion " +
 			"handler adds the provider's dispatch cost to every message " +
 			"relative to synchronous polling.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			t := table.New("latency, polling vs notify handler (us)",
 				"Provider", "Size", "Polling", "Notify", "Delta")
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
+				cfg := sc.Config(m)
 				for _, size := range []int{4, 4096} {
 					base, err := Latency(cfg, size, XferOpts{})
 					if err != nil {
@@ -76,16 +76,16 @@ func expXRDMA() *Experiment {
 		Title: "3.2.5: impact of RDMA operations (LATrdma/BWrdma)",
 		PaperClaim: "RDMA write avoids receive-descriptor processing at the " +
 			"target, shaving latency where the provider offloads it.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			lat := bench.NewGroup("RDMA-write latency vs send/recv latency")
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
-				sr, _, err := LatencySweep(cfg, ladder(quick), XferOpts{})
+				cfg := sc.Config(m)
+				sr, _, err := LatencySweep(cfg, ladder(sc.Quick), XferOpts{})
 				if err != nil {
 					return nil, err
 				}
 				sr.Name = m.Name + " send/recv"
-				rd, _, err := LatencySweep(cfg, ladder(quick), XferOpts{RDMA: true})
+				rd, _, err := LatencySweep(cfg, ladder(sc.Quick), XferOpts{RDMA: true})
 				if err != nil {
 					return nil, err
 				}
@@ -103,14 +103,14 @@ func expXPIPE() *Experiment {
 		Title: "3.2.5: impact of sender pipeline length (BWpipe)",
 		PaperClaim: "Bandwidth rises with the number of outstanding sends until " +
 			"the wire (or the host software path) saturates.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			g := bench.NewGroup("bandwidth vs pipeline length (4KB messages)")
 			windows := []int{1, 2, 4, 8, 16, 32}
-			if quick {
+			if sc.Quick {
 				windows = []int{1, 4, 16}
 			}
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
+				cfg := sc.Config(m)
 				s, err := PipelineSweep(cfg, 4096, windows)
 				if err != nil {
 					return nil, err
@@ -128,15 +128,15 @@ func expXMTU() *Experiment {
 		Title: "3.2.5: impact of maximum transfer size (LATmtu)",
 		PaperClaim: "Latency steps up at wire-MTU boundaries as messages start " +
 			"to fragment; the step size reflects per-fragment costs.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			g := bench.NewGroup("latency around wire-MTU boundaries")
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
-				s, _, err := LatencySweep(cfg, MTULadder(m.WireMTU), XferOpts{})
+				cfg := sc.Config(m)
+				s, _, err := LatencySweep(cfg, MTULadder(cfg.Model.WireMTU), XferOpts{})
 				if err != nil {
 					return nil, err
 				}
-				s.Name = fmt.Sprintf("%s (MTU %dB)", m.Name, m.WireMTU)
+				s.Name = fmt.Sprintf("%s (MTU %dB)", m.Name, cfg.Model.WireMTU)
 				g.Add(s)
 			}
 			return &Report{Groups: []*bench.Group{g}}, nil
@@ -151,11 +151,11 @@ func expXREL() *Experiment {
 		PaperClaim: "Reliable modes pay ack processing; Reliable Reception " +
 			"completes sends only after remote memory placement, costing the " +
 			"most.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			var groups []*bench.Group
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
-				g, err := ReliabilitySweep(cfg, ladder(quick), false)
+				cfg := sc.Config(m)
+				g, err := ReliabilitySweep(cfg, ladder(sc.Quick), false)
 				if err != nil {
 					return nil, err
 				}
@@ -178,22 +178,22 @@ func expATLB() *Experiment {
 		Title: "Ablation: NIC translation-cache capacity (BVIA, 0% reuse)",
 		PaperClaim: "(no paper counterpart) How large must the NIC translation " +
 			"cache be before the Figure 5 reuse sensitivity disappears?",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			t := table.New("0%-reuse latency @28KB vs TLB capacity (us)",
 				"TLB entries", "latency", "vs 100% reuse")
-			base := cfgFor(provider.BVIA(), quick)
+			base := sc.Config(provider.BVIA())
 			ref, err := Latency(base, 28672, XferOpts{})
 			if err != nil {
 				return nil, err
 			}
 			caps := []int{8, 32, 128, 1024}
-			if quick {
+			if sc.Quick {
 				caps = []int{32, 1024}
 			}
 			for _, c := range caps {
 				m := provider.BVIA()
 				m.TLBCapacity = c
-				cfg := cfgFor(m, quick)
+				cfg := sc.Config(m)
 				// Warm every pool buffer before timing so first-touch
 				// misses do not pollute the steady-state comparison.
 				cfg.Warmup = 20
@@ -218,7 +218,7 @@ func expAXLAT() *Experiment {
 		Title: "Ablation: the four address-translation designs of [5]",
 		PaperClaim: "(design comparison the paper cites) host-vs-NIC " +
 			"translation x host-vs-NIC tables, on an otherwise identical NIC.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			t := table.New("0%-reuse latency @28KB per translation design (us)",
 				"Design", "latency")
 			type design struct {
@@ -242,7 +242,7 @@ func expAXLAT() *Experiment {
 			for _, d := range designs {
 				m := provider.BVIA()
 				d.tweak(m)
-				cfg := cfgFor(m, quick)
+				cfg := sc.Config(m)
 				r, err := Latency(cfg, 28672, XferOpts{VaryBuffers: true, ReusePct: 0})
 				if err != nil {
 					return nil, err
@@ -260,7 +260,7 @@ func expADOOR() *Experiment {
 		Title: "Ablation: doorbell implementation (M-VIA)",
 		PaperClaim: "(no paper counterpart) How much of M-VIA's small-message " +
 			"latency is the system-call doorbell?",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			t := table.New("4B latency vs doorbell cost (us)", "Doorbell", "latency")
 			for _, d := range []struct {
 				name string
@@ -268,7 +268,7 @@ func expADOOR() *Experiment {
 			}{{"syscall trap (3.5us, M-VIA)", 3.5}, {"kernel fast path (1.0us)", 1.0}, {"memory-mapped (0.2us)", 0.2}} {
 				m := provider.MVIA()
 				m.DoorbellCost = us2(d.us)
-				r, err := Latency(cfgFor(m, quick), 4, XferOpts{})
+				r, err := Latency(sc.Config(m), 4, XferOpts{})
 				if err != nil {
 					return nil, err
 				}
@@ -285,13 +285,13 @@ func expAPOLL() *Experiment {
 		Title: "Ablation: firmware poll-sweep cost per VI (BVIA)",
 		PaperClaim: "(no paper counterpart) Sensitivity of the Figure 6 slope " +
 			"to the per-VI polling cost.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			t := table.New("4B latency with 16 open VIs vs poll cost (us)",
 				"Poll cost per VI", "latency")
 			for _, c := range []float64{0, 1, 3, 6} {
 				m := provider.BVIA()
 				m.PollPerVI = us2(c)
-				r, err := Latency(cfgFor(m, quick), 4, XferOpts{ActiveVIs: 16})
+				r, err := Latency(sc.Config(m), 4, XferOpts{ActiveVIs: 16})
 				if err != nil {
 					return nil, err
 				}

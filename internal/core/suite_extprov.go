@@ -18,12 +18,12 @@ func expEXTPROV() *Experiment {
 			"microcoded data path should land between Berkeley VIA and cLAN; a " +
 			"first-generation IBA adapter should beat all three on every " +
 			"headline number except connection setup.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			t := table.New("VIBe headline numbers across five implementations",
 				"Provider", "4B lat (us)", "28KB lat (us)", "28KB BW (MB/s)",
 				"Conn est (us)", "CQ ovh (us)", "Reuse-sensitive", "VI-sensitive")
 			for _, m := range provider.Extended() {
-				cfg := cfgFor(m, quick)
+				cfg := sc.Config(m)
 				lat, _, err := LatencySweep(cfg, []int{4, 28672}, XferOpts{})
 				if err != nil {
 					return nil, err

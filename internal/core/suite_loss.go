@@ -36,14 +36,14 @@ func expXLOSS() *Experiment {
 			"benchmark) Each lost fragment stalls the go-back-N window for a " +
 			"retransmission timeout and forces duplicate traffic, so goodput " +
 			"degrades steeply with loss.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			rates := []float64{0, 0.001, 0.005, 0.02}
-			if quick {
+			if sc.Quick {
 				rates = []float64{0, 0.01}
 			}
 			g := bench.NewGroup("reliable 4KB goodput vs loss rate")
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
+				cfg := sc.Config(m)
 				s, err := LossSweep(cfg, 4096, rates)
 				if err != nil {
 					return nil, err

@@ -157,16 +157,16 @@ func expPMMP() *Experiment {
 			"raw VIA latency closely in its eager range and pay a rendezvous " +
 			"round trip beyond the eager limit, where zero-copy RDMA then wins " +
 			"back the copy costs on large messages.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			g := bench.NewGroup("mp layer latency vs raw VIA")
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
-				raw, _, err := LatencySweep(cfg, ladder(quick), XferOpts{})
+				cfg := sc.Config(m)
+				raw, _, err := LatencySweep(cfg, ladder(sc.Quick), XferOpts{})
 				if err != nil {
 					return nil, err
 				}
 				raw.Name = m.Name + " raw VIA"
-				mpl, err := MPLatency(cfg, ladder(quick), mp.DefaultConfig())
+				mpl, err := MPLatency(cfg, ladder(sc.Quick), mp.DefaultConfig())
 				if err != nil {
 					return nil, err
 				}
@@ -187,16 +187,16 @@ func expPMGP() *Experiment {
 		PaperClaim: "(planned in the paper) One-sided puts cost a wire one-way " +
 			"plus reliability ack; gets are cheap where the NIC reads (cLAN, " +
 			"M-VIA) and pay a daemon-serviced round trip on Berkeley VIA.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			t := table.New("get/put latency (us)", "Provider", "Size", "Put", "Get", "Get path")
 			sizes := []int{64, 4096}
-			if !quick {
+			if !sc.Quick {
 				sizes = append(sizes, 28672)
 			}
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
+				cfg := sc.Config(m)
 				path := "rdma-read"
-				if !m.SupportsRDMARead {
+				if !cfg.Model.SupportsRDMARead {
 					path = "daemon-serviced"
 				}
 				for _, size := range sizes {
@@ -219,13 +219,13 @@ func expPMEAGER() *Experiment {
 		PaperClaim: "(design guidance VIBe enables) The optimal eager/rendezvous " +
 			"switch point balances the copy cost VIBe measures against the " +
 			"rendezvous round trip; sweeping the limit exposes the crossover.",
-		Run: func(quick bool) (*Report, error) {
-			cfg := cfgFor(provider.MVIA(), quick) // copies make the effect starkest
+		Run: func(sc *Scenario) (*Report, error) {
+			cfg := sc.Config(provider.MVIA()) // copies make the effect starkest
 			const size = 16 * 1024
 			t := table.New(fmt.Sprintf("mp 16KB latency vs eager limit (%s)", cfg.Model.Name),
 				"Eager limit", "Protocol", "Latency (us)")
 			limits := []int{4 * 1024, 32 * 1024}
-			if !quick {
+			if !sc.Quick {
 				limits = []int{2 * 1024, 8 * 1024, 32 * 1024}
 			}
 			for _, lim := range limits {

@@ -159,15 +159,15 @@ func expPMSOCK() *Experiment {
 			"byte-stream layer keeps most of the raw bandwidth on offloaded " +
 			"NICs and adds its staging-copy costs on both sides; small-message " +
 			"latency pays header processing and window accounting.",
-		Run: func(quick bool) (*Report, error) {
+		Run: func(sc *Scenario) (*Report, error) {
 			g := bench.NewGroup("stream layer vs raw VIA")
 			latG := bench.NewGroup("stream latency vs raw VIA")
 			total := 2 << 20
-			if quick {
+			if sc.Quick {
 				total = 256 << 10
 			}
 			for _, m := range provider.All() {
-				cfg := cfgFor(m, quick)
+				cfg := sc.Config(m)
 				raw, _, err := BandwidthSweep(cfg, []int{28672}, XferOpts{})
 				if err != nil {
 					return nil, err

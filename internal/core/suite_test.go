@@ -36,7 +36,7 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			rep, err := e.Run(true)
+			rep, err := e.Run(DefaultScenario(true))
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -65,7 +65,7 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 // The ablations must show their effects even in quick mode.
 func TestAblationEffects(t *testing.T) {
 	t.Run("ATLB", func(t *testing.T) {
-		rep, err := ExperimentMust(t, "ATLB").Run(true)
+		rep, err := ExperimentMust(t, "ATLB").Run(DefaultScenario(true))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +76,7 @@ func TestAblationEffects(t *testing.T) {
 		}
 	})
 	t.Run("ADOOR", func(t *testing.T) {
-		rep, err := ExperimentMust(t, "ADOOR").Run(true)
+		rep, err := ExperimentMust(t, "ADOOR").Run(DefaultScenario(true))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +86,7 @@ func TestAblationEffects(t *testing.T) {
 		}
 	})
 	t.Run("APOLL", func(t *testing.T) {
-		rep, err := ExperimentMust(t, "APOLL").Run(true)
+		rep, err := ExperimentMust(t, "APOLL").Run(DefaultScenario(true))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,134 @@
+package provider
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Scenario is a data-driven model specification: a base provider plus
+// parameter overrides. It is the unit the CLI, sweep expander and results
+// provenance all share, and its JSON form is the on-disk scenario file:
+//
+//	{"name": "fast-doorbell", "base": "clan", "set": {"DoorbellCost": "0.1us"}}
+type Scenario struct {
+	// Name labels the derived design point ("TLBCapacity=8"); empty means
+	// the unmodified base.
+	Name string `json:"name,omitempty"`
+
+	// Base is the built-in model to derive from (mvia, bvia, clan,
+	// firmvia, iba). Registry experiments choose their own models, so Base
+	// may be empty when only Set matters.
+	Base string `json:"base,omitempty"`
+
+	// Set maps catalog parameter names to value strings.
+	Set map[string]string `json:"set,omitempty"`
+}
+
+// Compile validates the override set against the parameter catalog.
+func (s *Scenario) Compile() ([]Override, error) {
+	return CompileOverrides(s.Set)
+}
+
+// Derive returns a copy of m with the scenario's overrides applied, in
+// sorted parameter order. m itself is never mutated.
+func (s *Scenario) Derive(m *Model) (*Model, error) {
+	ovs, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	d := m.Clone()
+	for _, o := range ovs {
+		o.Apply(d)
+	}
+	return d, nil
+}
+
+// Model resolves the base by name and derives the scenario's model.
+func (s *Scenario) Model() (*Model, error) {
+	if s.Base == "" {
+		return nil, fmt.Errorf("provider: scenario %q has no base model", s.Name)
+	}
+	base, err := ByNameExtended(s.Base)
+	if err != nil {
+		return nil, err
+	}
+	return s.Derive(base)
+}
+
+// Label returns the scenario's display name: Name if set, otherwise a
+// deterministic key=value rendering of the overrides, otherwise "base".
+func (s *Scenario) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	ovs, err := CompileOverrides(s.Set)
+	if err != nil || len(ovs) == 0 {
+		return "base"
+	}
+	parts := make([]string, len(ovs))
+	for i, o := range ovs {
+		parts[i] = o.Param.Name + "=" + o.Value
+	}
+	return strings.Join(parts, ",")
+}
+
+// LoadScenario reads and validates a scenario file.
+func LoadScenario(path string) (Scenario, error) {
+	var s Scenario
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("provider: scenario %s: %w", path, err)
+	}
+	if _, err := s.Compile(); err != nil {
+		return s, fmt.Errorf("provider: scenario %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Save writes the scenario as indented JSON.
+func (s *Scenario) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ParseSet parses repeated "name=value" CLI arguments into an override
+// set, validating each name and value against the catalog.
+func ParseSet(args []string) (map[string]string, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	set := make(map[string]string, len(args))
+	for _, a := range args {
+		name, value, ok := strings.Cut(a, "=")
+		if !ok || strings.TrimSpace(name) == "" {
+			return nil, fmt.Errorf("provider: bad -set %q (want name=value)", a)
+		}
+		p, err := ParamByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		set[p.Name] = strings.TrimSpace(value)
+	}
+	if _, err := CompileOverrides(set); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// Names lists the built-in provider models in registry order.
+func Names() []string {
+	models := Extended()
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	return names
+}

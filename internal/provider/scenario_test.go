@@ -1,0 +1,133 @@
+package provider
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestScenarioDeriveDoesNotMutateBase(t *testing.T) {
+	base := CLAN()
+	before := base.DoorbellCost
+	s := Scenario{Set: map[string]string{"DoorbellCost": "99us"}}
+	d, err := s.Derive(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.DoorbellCost != before {
+		t.Fatalf("Derive mutated the base model: %v -> %v", before, base.DoorbellCost)
+	}
+	if got := d.DoorbellCost.Micros(); got != 99 {
+		t.Fatalf("derived DoorbellCost = %vus, want 99", got)
+	}
+}
+
+func TestScenarioModelResolvesBase(t *testing.T) {
+	s := Scenario{Base: "firmvia", Set: map[string]string{"WireMTU": "2048"}}
+	m, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "firmvia" || m.WireMTU != 2048 {
+		t.Fatalf("derived model = %s, MTU %d", m.Name, m.WireMTU)
+	}
+	if _, err := (&Scenario{Set: map[string]string{}}).Model(); err == nil {
+		t.Fatal("scenario without base resolved a model")
+	}
+	if _, err := (&Scenario{Base: "nope"}).Model(); err == nil {
+		t.Fatal("unknown base accepted")
+	}
+}
+
+func TestScenarioLabel(t *testing.T) {
+	if got := (&Scenario{Name: "tuned"}).Label(); got != "tuned" {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := (&Scenario{}).Label(); got != "base" {
+		t.Fatalf("empty Label = %q", got)
+	}
+	s := &Scenario{Set: map[string]string{"WireMTU": "9000", "DoorbellCost": "2us"}}
+	if got := s.Label(); got != "DoorbellCost=2us,WireMTU=9000" {
+		t.Fatalf("Label = %q (must be sorted, deterministic)", got)
+	}
+}
+
+func TestScenarioSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	s := Scenario{Name: "rt", Base: "bvia", Set: map[string]string{"TLBCapacity": "16"}}
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.Base != s.Base || got.Set["TLBCapacity"] != "16" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	m1, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := got.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Params() {
+		if p.Get(m1) != p.Get(m2) {
+			t.Fatalf("round-tripped scenario derives different %s: %q vs %q",
+				p.Name, p.Get(m1), p.Get(m2))
+		}
+	}
+}
+
+func TestLoadScenarioRejectsBadOverrides(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	s := Scenario{Set: map[string]string{"NoSuchKnob": "1"}}
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScenario(path); err == nil {
+		t.Fatal("scenario with unknown parameter loaded")
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	set, err := ParseSet([]string{"doorbellcost=2us", "WireMTU = 9000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Names canonicalize to catalog spelling, values are trimmed.
+	if set["DoorbellCost"] != "2us" || set["WireMTU"] != "9000" {
+		t.Fatalf("ParseSet = %v", set)
+	}
+	for _, bad := range [][]string{
+		{"DoorbellCost"},          // no '='
+		{"=2us"},                  // no name
+		{"NoSuchKnob=1"},          // unknown name
+		{"DoorbellCost=quickly"},  // bad value
+		{"ReliabilityMask=elite"}, // bad value, custom setter
+	} {
+		if _, err := ParseSet(bad); err == nil {
+			t.Errorf("ParseSet(%v) accepted", bad)
+		}
+	}
+	if set, err := ParseSet(nil); err != nil || set != nil {
+		t.Fatalf("ParseSet(nil) = %v, %v", set, err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	want := []string{"mvia", "bvia", "clan", "firmvia", "iba"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], want[i])
+		}
+		if _, err := ByNameExtended(names[i]); err != nil {
+			t.Fatalf("Names() entry %q does not resolve: %v", names[i], err)
+		}
+	}
+}

@@ -23,7 +23,7 @@ func TestQuickBaselineUnchanged(t *testing.T) {
 	}
 	cur := &Set{Label: "regenerated"}
 	for _, e := range core.Experiments() {
-		rep, err := e.Run(true)
+		rep, err := e.Run(core.DefaultScenario(true))
 		if err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}

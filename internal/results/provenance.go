@@ -1,0 +1,118 @@
+package results
+
+import (
+	"fmt"
+	"sort"
+
+	"vibe/internal/core"
+)
+
+// Provenance records the scenario a result set was produced under: the
+// base provider model (empty when the set spans the whole registry's
+// built-in models), every parameter override, and the run-config
+// overrides. A set carrying provenance can always be traced back to the
+// exact design point that produced it, and the comparator can refuse
+// apples-to-oranges diffs.
+type Provenance struct {
+	Name  string            `json:"name,omitempty"`
+	Base  string            `json:"base,omitempty"`
+	Set   map[string]string `json:"set,omitempty"`
+	Run   core.RunOverrides `json:"run,omitzero"`
+	Quick bool              `json:"quick,omitempty"`
+}
+
+// ProvenanceOf captures a scenario's full provenance. A nil or unmodified
+// scenario (no base, overrides, or run changes — quick alone does not
+// count) yields nil, so result sets produced by the plain suite stay
+// byte-identical to the legacy format.
+func ProvenanceOf(sc *core.Scenario) *Provenance {
+	if sc == nil {
+		return nil
+	}
+	p := &Provenance{
+		Name:  sc.Spec.Name,
+		Base:  sc.Spec.Base,
+		Run:   sc.Spec.Run,
+		Quick: sc.Quick,
+	}
+	if len(sc.Spec.Set) > 0 {
+		p.Set = make(map[string]string, len(sc.Spec.Set))
+		for k, v := range sc.Spec.Set {
+			p.Set[k] = v
+		}
+	}
+	if p.Name == "" && p.Base == "" && p.Set == nil && p.Run.IsZero() {
+		return nil
+	}
+	return p
+}
+
+// Equal reports whether two provenance records describe the same design
+// point. Names are labels, not parameters, so they do not participate.
+func (p *Provenance) Equal(q *Provenance) bool {
+	if p == nil || q == nil {
+		return p == nil && q == nil
+	}
+	if p.Base != q.Base || p.Quick != q.Quick || p.Run != q.Run || len(p.Set) != len(q.Set) {
+		return false
+	}
+	for k, v := range p.Set {
+		if qv, ok := q.Set[k]; !ok || qv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// describe renders a provenance record for error messages.
+func (p *Provenance) describe() string {
+	if p == nil {
+		return "default (no overrides)"
+	}
+	s := "base=" + p.Base
+	if p.Base == "" {
+		s = "base=(all)"
+	}
+	if len(p.Set) > 0 {
+		keys := make([]string, 0, len(p.Set))
+		for k := range p.Set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s += fmt.Sprintf(" %s=%s", k, p.Set[k])
+		}
+	}
+	if p.Quick {
+		s += " quick"
+	}
+	if !p.Run.IsZero() {
+		s += " +run-overrides"
+	}
+	return s
+}
+
+// CheckProvenance verifies two sets were produced under the same design
+// point. Missing provenance means the default scenario (sets written
+// before the field existed never had overrides), so two provenance-free
+// sets are compatible — legacy baselines keep working — while a
+// scenario'd set never silently diffs against a default one.
+func CheckProvenance(base, cur *Set) error {
+	if base.Scenario.Equal(cur.Scenario) {
+		return nil
+	}
+	return fmt.Errorf("results: provenance mismatch:\n  base: %s\n  new:  %s",
+		base.Scenario.describe(), cur.Scenario.describe())
+}
+
+// CompareChecked diffs two sets after verifying their provenance matches.
+// force skips the check, for deliberate cross-scenario comparisons (the
+// whole point of an ablation is diffing across design points).
+func CompareChecked(base, cur *Set, tol float64, force bool) ([]Diff, error) {
+	if !force {
+		if err := CheckProvenance(base, cur); err != nil {
+			return nil, fmt.Errorf("%w\n  (pass -force to compare anyway)", err)
+		}
+	}
+	return Compare(base, cur, tol), nil
+}

@@ -25,6 +25,7 @@ type Set struct {
 	Version     int          `json:"version"`
 	Suite       string       `json:"suite"`
 	Label       string       `json:"label,omitempty"`
+	Scenario    *Provenance  `json:"scenario,omitempty"`
 	Experiments []Experiment `json:"experiments"`
 }
 
@@ -234,8 +235,11 @@ func compareGroups(id string, base, cur []Group, tol float64) []Diff {
 }
 
 func relErr(a, b float64) float64 {
-	if a == b {
+	if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
 		return 0
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.Inf(1)
 	}
 	den := math.Abs(a)
 	if den == 0 {
@@ -262,6 +266,13 @@ func Render(w io.Writer, diffs []Diff, tol float64) {
 	for _, d := range diffs {
 		if math.IsInf(d.RelErr, 1) && d.Base == 0 && d.New == 0 {
 			fmt.Fprintf(w, "  %-8s %s\n", d.Experiment, d.Where)
+			continue
+		}
+		// A zero or NaN base has no meaningful percent change; print the
+		// raw values instead of dividing by it.
+		if d.Base == 0 || math.IsNaN(d.Base) || math.IsNaN(d.New) {
+			fmt.Fprintf(w, "  %-8s %-48s %12.4g -> %-12.4g (n/a)\n",
+				d.Experiment, d.Where, d.Base, d.New)
 			continue
 		}
 		fmt.Fprintf(w, "  %-8s %-48s %12.4g -> %-12.4g (%+.1f%%)\n",

@@ -43,7 +43,7 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 // then with opt.Workers, and returns the combined timing report. Both
 // passes must succeed.
 func BenchSuite(exps []*core.Experiment, opt Options, label string) (*SuiteBench, error) {
-	seq := Run(exps, Options{Quick: opt.Quick, Workers: 1})
+	seq := Run(exps, Options{Quick: opt.Quick, Workers: 1, Scenario: opt.Scenario})
 	if err := FirstError(seq); err != nil {
 		return nil, fmt.Errorf("sequential pass: %w", err)
 	}

@@ -5,6 +5,10 @@
 // deterministic: results come back indexed by submission order, so a
 // parallel run assembles the exact same report sequence as a sequential
 // one regardless of completion order.
+//
+// A cell is an (experiment, scenario) pair. Single-scenario runs use Run;
+// parameter sweeps use RunGrid, which fans every sweep cell out across the
+// same pool, so sweeps parallelize exactly like the base registry.
 package runner
 
 import (
@@ -19,11 +23,12 @@ import (
 
 // Result is the outcome of one experiment cell.
 type Result struct {
-	Index  int           // position in the submitted experiment slice
-	ID     string        // experiment id
-	Report *core.Report  // nil when Err != nil
-	Err    error         // the cell's error, or errSkipped after fail-fast
-	Wall   time.Duration // host wall-clock time the cell took
+	Index    int           // position in the submitted experiment slice
+	ID       string        // experiment id
+	Scenario string        // scenario label the cell ran under
+	Report   *core.Report  // nil when Err != nil
+	Err      error         // the cell's error, or errSkipped after fail-fast
+	Wall     time.Duration // host wall-clock time the cell took
 }
 
 // errSkipped marks cells never started because an earlier cell failed.
@@ -43,6 +48,11 @@ type Options struct {
 	// Workers is the number of cells run concurrently. Zero or negative
 	// means runtime.NumCPU(). One gives a fully sequential run.
 	Workers int
+
+	// Scenario is the design point every cell runs under; nil means the
+	// unmodified default scenario at Quick. Ignored by RunGrid, which
+	// takes its scenarios explicitly.
+	Scenario *core.Scenario
 }
 
 func (o Options) workers(cells int) int {
@@ -59,39 +69,57 @@ func (o Options) workers(cells int) int {
 	return w
 }
 
-// Run executes every experiment and returns one Result per experiment, in
-// submission order. A failing cell stops new cells from starting (cells
-// already in flight finish) and its error is preserved in its slot; Run
-// itself never blocks indefinitely on a failure. Panics inside a cell's
-// Run function are converted to errors so one bad experiment cannot take
-// down the pool.
+// Run executes every experiment under opt.Scenario (or the default
+// scenario) and returns one Result per experiment, in submission order. A
+// failing cell stops new cells from starting (cells already in flight
+// finish) and its error is preserved in its slot; Run itself never blocks
+// indefinitely on a failure. Panics inside a cell's Run function are
+// converted to errors so one bad experiment cannot take down the pool.
 func Run(exps []*core.Experiment, opt Options) []Result {
-	results := make([]Result, len(exps))
-	if len(exps) == 0 {
-		return results
+	sc := opt.Scenario
+	if sc == nil {
+		sc = core.DefaultScenario(opt.Quick)
+	}
+	grid := RunGrid(exps, []*core.Scenario{sc}, opt)
+	return grid[0]
+}
+
+// RunGrid executes the experiments × scenarios grid on one shared worker
+// pool and returns results as grid[scenario][experiment], each row in
+// experiment submission order. Fail-fast spans the whole grid: once any
+// cell fails, unstarted cells in every scenario are skipped.
+func RunGrid(exps []*core.Experiment, scs []*core.Scenario, opt Options) [][]Result {
+	grid := make([][]Result, len(scs))
+	for i := range grid {
+		grid[i] = make([]Result, len(exps))
+	}
+	cells := len(exps) * len(scs)
+	if cells == 0 {
+		return grid
 	}
 	var failed atomic.Bool
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < opt.workers(len(exps)); w++ {
+	for w := 0; w < opt.workers(cells); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				results[i] = runCell(i, exps[i], opt.Quick, &failed)
+			for c := range idx {
+				si, ei := c/len(exps), c%len(exps)
+				grid[si][ei] = runCell(ei, exps[ei], scs[si], &failed)
 			}
 		}()
 	}
-	for i := range exps {
-		idx <- i
+	for c := 0; c < cells; c++ {
+		idx <- c
 	}
 	close(idx)
 	wg.Wait()
-	return results
+	return grid
 }
 
-func runCell(i int, e *core.Experiment, quick bool, failed *atomic.Bool) (res Result) {
-	res = Result{Index: i, ID: e.ID}
+func runCell(i int, e *core.Experiment, sc *core.Scenario, failed *atomic.Bool) (res Result) {
+	res = Result{Index: i, ID: e.ID, Scenario: sc.Label()}
 	if failed.Load() {
 		res.Err = errSkipped
 		return res
@@ -106,7 +134,7 @@ func runCell(i int, e *core.Experiment, quick bool, failed *atomic.Bool) (res Re
 			failed.Store(true)
 		}
 	}()
-	rep, err := e.Run(quick)
+	rep, err := e.Run(sc)
 	if err != nil {
 		res.Err = fmt.Errorf("%s: %w", e.ID, err)
 		return res
@@ -120,6 +148,17 @@ func runCell(i int, e *core.Experiment, quick bool, failed *atomic.Bool) (res Re
 func FirstError(results []Result) error {
 	for i := range results {
 		if err := results[i].Err; err != nil && !results[i].Skipped() {
+			return err
+		}
+	}
+	return nil
+}
+
+// FirstGridError scans a RunGrid result for the first real error, row by
+// row.
+func FirstGridError(grid [][]Result) error {
+	for _, row := range grid {
+		if err := FirstError(row); err != nil {
 			return err
 		}
 	}

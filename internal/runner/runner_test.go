@@ -51,7 +51,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-func fakeExp(id string, run func(bool) (*core.Report, error)) *core.Experiment {
+func fakeExp(id string, run func(*core.Scenario) (*core.Report, error)) *core.Experiment {
 	return &core.Experiment{ID: id, Title: id, Run: run}
 }
 
@@ -63,7 +63,7 @@ func TestFailingCellPropagates(t *testing.T) {
 	var exps []*core.Experiment
 	for i := 0; i < 16; i++ {
 		i := i
-		exps = append(exps, fakeExp(fmt.Sprintf("E%02d", i), func(bool) (*core.Report, error) {
+		exps = append(exps, fakeExp(fmt.Sprintf("E%02d", i), func(*core.Scenario) (*core.Report, error) {
 			if i == 3 {
 				return nil, boom
 			}
@@ -104,8 +104,8 @@ func TestFailingCellPropagates(t *testing.T) {
 // is converted to that cell's error instead of killing the process.
 func TestPanickingCellIsContained(t *testing.T) {
 	exps := []*core.Experiment{
-		fakeExp("OK", func(bool) (*core.Report, error) { return &core.Report{}, nil }),
-		fakeExp("PANIC", func(bool) (*core.Report, error) { panic("kaboom") }),
+		fakeExp("OK", func(*core.Scenario) (*core.Report, error) { return &core.Report{}, nil }),
+		fakeExp("PANIC", func(*core.Scenario) (*core.Report, error) { panic("kaboom") }),
 	}
 	rs := Run(exps, Options{Workers: 2})
 	if rs[0].Err != nil && !rs[0].Skipped() {
@@ -129,6 +129,50 @@ func TestWorkersClamp(t *testing.T) {
 	}
 	if got := (Options{Workers: 1}).workers(100); got != 1 {
 		t.Fatalf("explicit sequential run got %d workers", got)
+	}
+}
+
+// TestRunGrid checks that the scenario × experiment fan-out assembles
+// results in submission order with the right scenario labels, and that a
+// derived scenario actually changes what the experiment sees.
+func TestRunGrid(t *testing.T) {
+	exps := []*core.Experiment{
+		fakeExp("A", func(sc *core.Scenario) (*core.Report, error) {
+			return &core.Report{Title: "A/" + sc.Label()}, nil
+		}),
+		fakeExp("B", func(sc *core.Scenario) (*core.Report, error) {
+			return &core.Report{Title: "B/" + sc.Label()}, nil
+		}),
+	}
+	specs, err := core.ExpandSweeps(core.ScenarioSpec{}, []string{"TLBCapacity=8,32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := core.CompileScenarios(specs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := RunGrid(exps, scs, Options{Workers: 4})
+	if err := FirstGridError(grid); err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 2 || len(grid[0]) != 2 {
+		t.Fatalf("grid shape = %dx%d, want 2x2", len(grid), len(grid[0]))
+	}
+	for si, sc := range scs {
+		for ei, e := range exps {
+			r := grid[si][ei]
+			if r.ID != e.ID || r.Scenario != sc.Label() {
+				t.Fatalf("cell [%d][%d] = (%s, %s), want (%s, %s)",
+					si, ei, r.ID, r.Scenario, e.ID, sc.Label())
+			}
+			if want := e.ID + "/" + sc.Label(); r.Report.Title != want {
+				t.Fatalf("cell [%d][%d] report = %q, want %q", si, ei, r.Report.Title, want)
+			}
+		}
+	}
+	if grid[0][0].Scenario == grid[1][0].Scenario {
+		t.Fatal("sweep cells share a scenario label; axis expansion is broken")
 	}
 }
 

@@ -150,17 +150,48 @@ func DefaultConfig(providerName string) (Config, error) {
 	return core.DefaultConfig(m), nil
 }
 
+// Scenario types: a scenario is a first-class design point — a base
+// provider model, parameter overrides, and run-config overrides — that
+// every experiment can execute under.
+type (
+	// Scenario is a compiled, validated design point.
+	Scenario = core.Scenario
+	// ScenarioSpec is the serializable scenario description
+	// ({base, set, run}) that compiles into a Scenario.
+	ScenarioSpec = core.ScenarioSpec
+)
+
+// NewScenario validates and compiles a scenario spec.
+func NewScenario(spec ScenarioSpec, quick bool) (*Scenario, error) {
+	return core.NewScenario(spec, quick)
+}
+
+// LoadScenario reads a scenario spec from a JSON file and compiles it.
+func LoadScenario(path string, quick bool) (*Scenario, error) {
+	return core.LoadScenario(path, quick)
+}
+
+// DefaultScenario is the unmodified paper configuration.
+func DefaultScenario(quick bool) *Scenario { return core.DefaultScenario(quick) }
+
 // Experiments returns the full experiment registry (Table 1, Figures 1-7,
 // the §3.2.5 extensions, and the ablations).
 func Experiments() []*Experiment { return core.Experiments() }
 
-// RunExperiment runs one experiment by id (e.g. "T1", "F3", "XRDMA").
+// RunExperiment runs one experiment by id (e.g. "T1", "F3", "XRDMA")
+// under the default scenario.
 func RunExperiment(id string, quick bool) (*Report, error) {
+	return RunExperimentScenario(id, core.DefaultScenario(quick))
+}
+
+// RunExperimentScenario runs one experiment by id under the given
+// scenario.
+func RunExperimentScenario(id string, sc *Scenario) (*Report, error) {
 	e, err := core.ExperimentByID(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(quick)
+	return e.Run(sc)
 }
 
 // Latency measures one ping-pong latency point on the named provider.
