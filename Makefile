@@ -1,7 +1,7 @@
 # VIBe build and verification targets. `make check` is the gate every
-# change must pass: it race-checks the parallel runner in addition to the
-# regular suite, since runner bugs would silently corrupt assembled
-# reports rather than fail loudly.
+# change must pass: it race-checks the parallel runner and the shared
+# metrics collector in addition to the regular suite, since bugs there
+# would silently corrupt assembled reports rather than fail loudly.
 
 GO ?= go
 
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/...
+	$(GO) test -race ./internal/runner/... ./internal/metrics/... ./internal/trace/...
 
 check: vet build test race
 

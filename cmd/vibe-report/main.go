@@ -36,10 +36,12 @@ import (
 
 	"vibe/internal/bench"
 	"vibe/internal/core"
+	"vibe/internal/metrics"
 	"vibe/internal/provider"
 	"vibe/internal/results"
 	"vibe/internal/runner"
 	"vibe/internal/table"
+	"vibe/internal/trace"
 )
 
 // repeatedFlag collects every occurrence of a repeatable string flag.
@@ -66,6 +68,8 @@ func main() {
 		benchOut     = flag.String("bench", "", "time sequential vs parallel and write the report to this JSON file (use with -quick for a fast pass)")
 		baseMs       = flag.Float64("bench-baseline-ms", 0, "earlier revision's sequential wall time in ms; with -bench, speedup is computed against it")
 		baseLabel    = flag.String("bench-baseline-label", "", "label describing the -bench-baseline-ms revision")
+		metricsOn    = flag.Bool("metrics", false, "print per-component simulation counters and embed them in -json output")
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto); forces -parallel 1")
 	)
 	flag.Var(&sets, "set", "override a model parameter, e.g. -set DoorbellCost=2us (repeatable)")
 	flag.Var(&sweeps, "sweep", "sweep a parameter over values, e.g. -sweep TLBCapacity=8,32,128 (repeatable; cells form a grid)")
@@ -97,6 +101,26 @@ func main() {
 	scs, err := core.CompileScenarios(specs, *quick)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Instrumentation: a per-scenario metrics collector (safe to share
+	// across the runner's workers) and, for tracing, one recorder — a
+	// single-writer structure, so tracing pins the run to one worker.
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = &trace.Recorder{Limit: 1 << 20}
+		*parallel = 1
+	}
+	collectors := make([]*metrics.Collector, len(scs))
+	if *metricsOn || rec != nil {
+		for i, sc := range scs {
+			in := &core.Instr{Trace: rec}
+			if *metricsOn {
+				in.Metrics = metrics.NewCollector()
+				collectors[i] = in.Metrics
+			}
+			sc.Instr = in
+		}
 	}
 
 	if *benchOut != "" {
@@ -135,6 +159,9 @@ func main() {
 			fmt.Printf("########## scenario: %s ##########\n\n", scs[si].Label())
 		}
 		set := &results.Set{Label: *label, Scenario: results.ProvenanceOf(scs[si])}
+		if collectors[si] != nil {
+			set.Metrics = collectors[si].Snapshot().Map()
+		}
 		for i, e := range exps {
 			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 			fmt.Printf("paper: %s\n\n", e.PaperClaim)
@@ -170,6 +197,11 @@ func main() {
 			set.Experiments = append(set.Experiments, results.FromReport(e.ID, rep))
 		}
 
+		if c := collectors[si]; c != nil {
+			fmt.Printf("--- metrics: %s (%d simulated systems) ---\n", scs[si].Label(), c.Systems())
+			c.Snapshot().Render(os.Stdout)
+			fmt.Println()
+		}
 		if *jsonOut != "" {
 			path := cellPath(*jsonOut, si, len(scs))
 			if err := results.Save(path, set); err != nil {
@@ -191,6 +223,20 @@ func main() {
 				exitCode = 2
 			}
 		}
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d events, %d dropped)\n", *traceOut, rec.Len(), rec.Dropped())
 	}
 	os.Exit(exitCode)
 }

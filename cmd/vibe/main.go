@@ -25,10 +25,12 @@ import (
 	"vibe/internal/bench"
 	"vibe/internal/core"
 	"vibe/internal/logp"
+	"vibe/internal/metrics"
 	"vibe/internal/mp"
 	"vibe/internal/provider"
 	"vibe/internal/runner"
 	"vibe/internal/table"
+	"vibe/internal/trace"
 	"vibe/internal/via"
 )
 
@@ -216,6 +218,8 @@ func main() {
 		parallel     = flag.Int("parallel", runtime.NumCPU(), "worker count for -bench suite and -sweep cells")
 		quick        = flag.Bool("quick", false, "smaller sweeps for -bench suite")
 		params       = flag.Bool("params", false, "list the model parameter catalog (-set/-sweep names) and exit")
+		metricsOn    = flag.Bool("metrics", false, "print per-component simulation counters after the run")
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto); forces -parallel 1")
 	)
 	flag.Var(&sets, "set", "override a model parameter, e.g. -set DoorbellCost=2us (repeatable; see provider catalog)")
 	flag.Var(&sweeps, "sweep", "sweep a parameter over values, e.g. -sweep TLBCapacity=8,32,128 (repeatable; cells form a grid)")
@@ -241,8 +245,55 @@ func main() {
 		fatal(err)
 	}
 
+	// Instrumentation: a per-scenario metrics collector (safe to share
+	// across the runner's workers) and, for tracing, one recorder — a
+	// single-writer structure, so tracing pins the run to one worker.
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = &trace.Recorder{Limit: 1 << 20}
+		*parallel = 1
+	}
+	collectors := make([]*metrics.Collector, len(scs))
+	if *metricsOn || rec != nil {
+		for i, sc := range scs {
+			in := &core.Instr{Trace: rec}
+			if *metricsOn {
+				in.Metrics = metrics.NewCollector()
+				collectors[i] = in.Metrics
+			}
+			sc.Instr = in
+		}
+	}
+	finishInstr := func() {
+		for i, c := range collectors {
+			if c == nil {
+				continue
+			}
+			fmt.Printf("\n--- metrics: %s (%d simulated systems) ---\n", scs[i].Label(), c.Systems())
+			c.Snapshot().Render(os.Stdout)
+		}
+		if rec != nil {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rec.WriteChrome(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written to %s (%d events, %d dropped)\n", *traceOut, rec.Len(), rec.Dropped())
+		}
+	}
+
 	if *benchSel == "suite" {
-		runSuite(scs, *parallel)
+		err := runSuite(scs, *parallel)
+		finishInstr()
+		if err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -338,6 +389,7 @@ func main() {
 			fmt.Println()
 		}
 	}
+	finishInstr()
 	if err := runner.FirstGridError(grid); err != nil {
 		os.Exit(1)
 	}
@@ -382,7 +434,7 @@ func flagWasSet(name string) bool {
 // runSuite executes the whole experiment registry (times each scenario in
 // the grid) across the runner's worker pool, printing a one-line status
 // per cell in registry order.
-func runSuite(scs []*core.Scenario, workers int) {
+func runSuite(scs []*core.Scenario, workers int) error {
 	exps := core.Experiments()
 	grid := runner.RunGrid(exps, scs, runner.Options{Workers: workers})
 	for si, row := range grid {
@@ -401,9 +453,7 @@ func runSuite(scs []*core.Scenario, workers int) {
 			}
 		}
 	}
-	if err := runner.FirstGridError(grid); err != nil {
-		fatal(err)
-	}
+	return runner.FirstGridError(grid)
 }
 
 func fatal(err error) {

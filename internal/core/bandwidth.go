@@ -15,6 +15,7 @@ import (
 func bandwidth(cfg Config, size int, o XferOpts) (XferResult, error) {
 	o = o.normalized()
 	sys := via.NewSystem(cfg.Model, 2, cfg.Seed)
+	cfg.instrument(sys)
 	res := XferResult{Size: size}
 	warm := cfg.Warmup
 	total := cfg.BWMessages

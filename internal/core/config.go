@@ -57,6 +57,10 @@ type Config struct {
 
 	// Timeout bounds every blocking call in the harness.
 	Timeout sim.Duration
+
+	// Instr, when non-nil, attaches instrumentation (metrics collection,
+	// tracing) to every system the experiments build. See Instr.
+	Instr *Instr
 }
 
 // DefaultConfig returns the configuration used for the paper

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"vibe/internal/metrics"
+	"vibe/internal/trace"
+	"vibe/internal/via"
+)
+
+// Instr carries the optional instrumentation sinks of a run. A nil Instr
+// (or nil fields) means no collection: the simulated systems still count
+// everything — counters never touch virtual time — but nobody reads them,
+// so results are byte-identical with and without instrumentation (see
+// TestInstrumentationZeroOverhead).
+//
+// The metrics collector is safe to share across the parallel runner's
+// workers; the trace recorder is single-writer and requires workers=1.
+type Instr struct {
+	Metrics *metrics.Collector
+	Trace   *trace.Recorder
+}
+
+// instrument attaches the config's instrumentation sinks to a freshly
+// built system. Every experiment calls it right after via.NewSystem.
+func (c Config) instrument(sys *via.System) {
+	if c.Instr == nil {
+		return
+	}
+	if c.Instr.Metrics != nil {
+		sys.SetCollector(c.Instr.Metrics)
+	}
+	if c.Instr.Trace != nil {
+		sys.Eng.SetTracer(c.Instr.Trace.ForSystem())
+	}
+}

@@ -26,6 +26,7 @@ type NonDataCosts struct {
 // call.
 func NonData(cfg Config) (NonDataCosts, error) {
 	sys := via.NewSystem(cfg.Model, 2, cfg.Seed)
+	cfg.instrument(sys)
 	var out NonDataCosts
 	var runErr error
 	fail := func(err error) {
@@ -179,6 +180,7 @@ func memRegDereg(cfg Config, sizes []int, name string, dereg bool) (*bench.Serie
 		reps = 1
 	}
 	sys := via.NewSystem(cfg.Model, 1, cfg.Seed)
+	cfg.instrument(sys)
 	var runErr error
 	sys.Go(0, "memreg", func(ctx *via.Ctx) {
 		nic := ctx.OpenNic()

@@ -51,6 +51,11 @@ type Scenario struct {
 	Spec  ScenarioSpec
 	Quick bool
 
+	// Instr, when set, is copied into every Config the scenario builds, so
+	// all experiments run against it report into the same sinks. It is not
+	// part of the serialized spec.
+	Instr *Instr
+
 	ovs []provider.Override
 }
 
@@ -146,6 +151,7 @@ func (sc *Scenario) Config(m *provider.Model) Config {
 	if r.NonDataReps > 0 {
 		cfg.NonDataReps = r.NonDataReps
 	}
+	cfg.Instr = sc.Instr
 	return cfg
 }
 

@@ -17,6 +17,7 @@ import (
 // and dirty-page flush.
 func DSMLockContention(cfg Config, nodes, incsPerNode int) (usPerOp float64, fetches uint64, err error) {
 	sys := via.NewSystem(cfg.Model, nodes, cfg.Seed)
+	cfg.instrument(sys)
 	w := dsm.New(sys, dsm.DefaultConfig())
 	var runErr error
 	var elapsedUs float64

@@ -16,6 +16,7 @@ import (
 // reader drains continuously; MB/s is measured at the reader.
 func StreamThroughput(cfg Config, totalBytes int, scfg stream.Config) (float64, error) {
 	sys := via.NewSystem(cfg.Model, 2, cfg.Seed)
+	cfg.instrument(sys)
 	var mbps float64
 	var runErr error
 	fail := func(err error) {
@@ -87,6 +88,7 @@ func StreamThroughput(cfg Config, totalBytes int, scfg stream.Config) (float64, 
 // messages (one-way, RTT/2).
 func StreamPingPong(cfg Config, n int, scfg stream.Config) (float64, error) {
 	sys := via.NewSystem(cfg.Model, 2, cfg.Seed)
+	cfg.instrument(sys)
 	total := cfg.Warmup + cfg.Iters
 	var lat float64
 	var runErr error

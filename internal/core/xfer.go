@@ -241,6 +241,7 @@ func checkOK(d *via.Descriptor, err error) error {
 func roundTrip(cfg Config, reqSize, replySize int, separateBufs bool, o XferOpts) (XferResult, error) {
 	o = o.normalized()
 	sys := via.NewSystem(cfg.Model, 2, cfg.Seed)
+	cfg.instrument(sys)
 	total := cfg.Warmup + cfg.Iters
 	res := XferResult{Size: reqSize}
 

@@ -7,10 +7,19 @@ package cpu
 
 import "vibe/internal/sim"
 
-// CPU accumulates the busy time of one simulated processor.
+// CPU accumulates the busy time of one simulated processor, attributed by
+// how it was spent: spin is the busy time burned in polling loops, wake
+// the busy time charged for interrupt/reschedule paths after blocking
+// waits; the remainder is compute/copy work. Idle time is derived: it is
+// elapsed virtual time not accounted busy.
 type CPU struct {
 	eng  *sim.Engine
 	busy sim.Duration
+	spin sim.Duration
+	wake sim.Duration
+
+	spinWaits  uint64
+	blockWaits uint64
 }
 
 // New returns a CPU bound to e with zero accumulated busy time.
@@ -35,7 +44,10 @@ func (c *CPU) Charge(d sim.Duration) { c.busy += d }
 func (c *CPU) SpinWait(p *sim.Proc, sig *sim.Signal) {
 	start := p.Now()
 	sig.Wait(p)
-	c.busy += p.Now().Sub(start)
+	d := p.Now().Sub(start)
+	c.busy += d
+	c.spin += d
+	c.spinWaits++
 }
 
 // SpinWaitTimeout is SpinWait with a deadline; it reports false on timeout.
@@ -43,7 +55,10 @@ func (c *CPU) SpinWait(p *sim.Proc, sig *sim.Signal) {
 func (c *CPU) SpinWaitTimeout(p *sim.Proc, sig *sim.Signal, d sim.Duration) bool {
 	start := p.Now()
 	ok := sig.WaitTimeout(p, d)
-	c.busy += p.Now().Sub(start)
+	w := p.Now().Sub(start)
+	c.busy += w
+	c.spin += w
+	c.spinWaits++
 	return ok
 }
 
@@ -51,6 +66,8 @@ func (c *CPU) SpinWaitTimeout(p *sim.Proc, sig *sim.Signal, d sim.Duration) bool
 // wakeCost busy time for the interrupt/reschedule path.
 func (c *CPU) BlockWait(p *sim.Proc, sig *sim.Signal, wakeCost sim.Duration) {
 	sig.Wait(p)
+	c.blockWaits++
+	c.wake += wakeCost
 	c.Use(p, wakeCost)
 }
 
@@ -59,12 +76,24 @@ func (c *CPU) BlockWait(p *sim.Proc, sig *sim.Signal, wakeCost sim.Duration) {
 // way).
 func (c *CPU) BlockWaitTimeout(p *sim.Proc, sig *sim.Signal, d sim.Duration, wakeCost sim.Duration) bool {
 	ok := sig.WaitTimeout(p, d)
+	c.blockWaits++
+	c.wake += wakeCost
 	c.Use(p, wakeCost)
 	return ok
 }
 
 // Busy reports total accumulated busy time.
 func (c *CPU) Busy() sim.Duration { return c.busy }
+
+// SpinBusy reports the busy time spent spinning in polling waits.
+func (c *CPU) SpinBusy() sim.Duration { return c.spin }
+
+// WakeBusy reports the busy time charged for blocking-wait wakeups.
+func (c *CPU) WakeBusy() sim.Duration { return c.wake }
+
+// SpinWaits and BlockWaits report how many waits of each kind ran.
+func (c *CPU) SpinWaits() uint64  { return c.spinWaits }
+func (c *CPU) BlockWaits() uint64 { return c.blockWaits }
 
 // Meter measures CPU utilization over an interval, like bracketing a test
 // with two getrusage calls.

@@ -68,6 +68,16 @@ type port struct {
 	up   *sim.Pipe // node -> switch
 	down *sim.Pipe // switch -> node
 	in   *sim.Queue
+
+	// Per-link traffic counters (wire payload bytes, like BytesSent).
+	txPkts, txBytes uint64
+	rxPkts, rxBytes uint64
+}
+
+// LinkStats is one attached link's traffic totals.
+type LinkStats struct {
+	TxPackets, TxBytes uint64
+	RxPackets, RxBytes uint64
 }
 
 // Network is a star topology: every node connects to one crossbar switch.
@@ -87,6 +97,13 @@ type Network struct {
 	Delivered uint64
 	Dropped   uint64
 	BytesSent uint64
+
+	// SerTime accumulates link occupancy spent serializing packets (both
+	// link halves); PropTime accumulates the propagation plus switch
+	// latency of packets that were actually forwarded. Together they split
+	// wire time into the bandwidth-bound and distance-bound parts.
+	SerTime  sim.Duration
+	PropTime sim.Duration
 }
 
 // New creates a network with n nodes attached to e.
@@ -120,6 +137,15 @@ func (nw *Network) Inbox(id NodeID) *sim.Queue {
 // SetDropFilter installs (or, with nil, removes) a deterministic loss
 // filter.
 func (nw *Network) SetDropFilter(f DropFilter) { nw.dropFilter = f }
+
+// LinkStats reports node id's link traffic totals.
+func (nw *Network) LinkStats(id NodeID) LinkStats {
+	p := nw.port(id)
+	return LinkStats{
+		TxPackets: p.txPkts, TxBytes: p.txBytes,
+		RxPackets: p.rxPkts, RxBytes: p.rxBytes,
+	}
+}
 
 func (nw *Network) port(id NodeID) *port {
 	if int(id) < 0 || int(id) >= len(nw.ports) {
@@ -157,6 +183,9 @@ func (nw *Network) Send(src, dst NodeID, size int, payload interface{}) sim.Time
 	txDone := sp.up.Occupy(ser)
 	nw.Sent++
 	nw.BytesSent += uint64(size)
+	nw.SerTime += ser
+	sp.txPkts++
+	sp.txBytes += uint64(size)
 
 	d := nw.getDelivery()
 	d.Src, d.Dst, d.Size, d.Payload = src, dst, size, payload
@@ -176,9 +205,13 @@ func (nw *Network) Send(src, dst NodeID, size int, payload interface{}) sim.Time
 	atSwitch := txDone.Add(nw.params.LinkLatency).Add(nw.params.SwitchLatency)
 	rxDone := dp.down.OccupyFrom(atSwitch, ser)
 	deliverAt := rxDone.Add(nw.params.LinkLatency)
+	nw.SerTime += ser
+	nw.PropTime += 2*nw.params.LinkLatency + nw.params.SwitchLatency
 
 	nw.eng.At(deliverAt, func() {
 		nw.Delivered++
+		dp.rxPkts++
+		dp.rxBytes += uint64(d.Size)
 		dp.in.Push(d)
 	})
 	return txDone

@@ -1,0 +1,253 @@
+// Package metrics is the simulator's counter/gauge registry: the unified
+// observability layer that surfaces the per-component costs the paper
+// decomposes (doorbell processing, descriptor fetch, address translation,
+// DMA, ACK/retransmit — Figures 1-7, Table 1) from the components that
+// already measure them.
+//
+// Keys are hierarchical, dot-separated names like "nic0.tlb.miss",
+// "cpu1.busy_ns" or "link0.tx_bytes"; the first segment identifies the
+// component instance, so snapshots render naturally as per-component
+// tables. A Registry is deliberately lock-free: it lives inside one
+// single-threaded discrete-event simulation. Cross-simulation aggregation
+// (the parallel experiment runner merges many systems' snapshots) goes
+// through Collector, which is mutex-guarded.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind distinguishes monotonically accumulating counters from level-valued
+// gauges. The distinction matters when snapshots are diffed (counters
+// subtract, gauges don't) and merged (counters sum, gauges take the max —
+// the natural combination for high-water marks).
+type Kind uint8
+
+const (
+	// Counter accumulates: events dispatched, bytes DMAed, retransmits.
+	Counter Kind = iota
+	// Gauge is a level or high-water mark: heap depth, hit rate.
+	Gauge
+)
+
+func (k Kind) String() string {
+	if k == Gauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Sample is one named value in a snapshot.
+type Sample struct {
+	Key   string
+	Kind  Kind
+	Value float64
+}
+
+// Join builds a hierarchical key from parts: Join("nic0", "tlb", "miss")
+// is "nic0.tlb.miss".
+func Join(parts ...string) string { return strings.Join(parts, ".") }
+
+// Component returns the first segment of a key — the component instance
+// it belongs to ("nic0.tlb.miss" -> "nic0").
+func Component(key string) string {
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// Registry is a single-threaded counter/gauge store. The zero value is
+// ready to use; methods must not be called concurrently (use Collector to
+// aggregate across goroutines).
+type Registry struct {
+	idx map[string]int
+	s   []Sample
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+func (r *Registry) slot(key string, kind Kind) *Sample {
+	if i, ok := r.idx[key]; ok {
+		return &r.s[i]
+	}
+	if r.idx == nil {
+		r.idx = make(map[string]int)
+	}
+	r.idx[key] = len(r.s)
+	r.s = append(r.s, Sample{Key: key, Kind: kind})
+	return &r.s[len(r.s)-1]
+}
+
+// Add accumulates delta into the counter named key, creating it at zero on
+// first use.
+func (r *Registry) Add(key string, delta float64) {
+	r.slot(key, Counter).Value += delta
+}
+
+// AddUint is Add for the uint64 counters the components keep natively.
+func (r *Registry) AddUint(key string, delta uint64) {
+	r.slot(key, Counter).Value += float64(delta)
+}
+
+// Gauge sets the gauge named key to v.
+func (r *Registry) Gauge(key string, v float64) {
+	r.slot(key, Gauge).Value = v
+}
+
+// GaugeMax raises the gauge named key to v if v is higher — the high-water
+// update.
+func (r *Registry) GaugeMax(key string, v float64) {
+	s := r.slot(key, Gauge)
+	if v > s.Value {
+		s.Value = v
+	}
+}
+
+// Len reports the number of distinct keys.
+func (r *Registry) Len() int { return len(r.s) }
+
+// Snapshot returns a copy of the registry's current state, sorted by key.
+// Snapshots taken at different virtual-time marks can be diffed to isolate
+// a phase's contribution.
+func (r *Registry) Snapshot() Snapshot {
+	out := make(Snapshot, len(r.s))
+	copy(out, r.s)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Snapshot is an immutable, key-sorted view of a registry (or of a
+// collector's merged state).
+type Snapshot []Sample
+
+// Get returns the value of key and whether it is present.
+func (s Snapshot) Get(key string) (float64, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Key >= key })
+	if i < len(s) && s[i].Key == key {
+		return s[i].Value, true
+	}
+	return 0, false
+}
+
+// Diff returns s relative to an earlier snapshot prev: counters are
+// subtracted (their growth over the interval), gauges keep their current
+// value. Keys only in prev are dropped; keys only in s appear unchanged.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	at := make(map[string]float64, len(prev))
+	for _, p := range prev {
+		if p.Kind == Counter {
+			at[p.Key] = p.Value
+		}
+	}
+	out := make(Snapshot, len(s))
+	copy(out, s)
+	for i := range out {
+		if out[i].Kind == Counter {
+			out[i].Value -= at[out[i].Key]
+		}
+	}
+	return out
+}
+
+// Map flattens the snapshot to a plain key->value map, the form embedded
+// in saved result sets.
+func (s Snapshot) Map() map[string]float64 {
+	m := make(map[string]float64, len(s))
+	for _, x := range s {
+		m[x.Key] = x.Value
+	}
+	return m
+}
+
+// Render writes the snapshot as a per-component table: one block per
+// leading key segment, metrics listed under it.
+func (s Snapshot) Render(w io.Writer) {
+	last := ""
+	for _, x := range s {
+		comp := Component(x.Key)
+		if comp != last {
+			if last != "" {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "%s\n", comp)
+			last = comp
+		}
+		name := x.Key
+		if len(comp) < len(name) {
+			name = name[len(comp)+1:]
+		}
+		fmt.Fprintf(w, "  %-28s %s\n", name, formatValue(x.Value))
+	}
+}
+
+// formatValue prints whole numbers without a fraction and everything else
+// with enough precision to be useful.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Collector aggregates snapshots from many independent simulations. It is
+// safe for concurrent use: the parallel experiment runner merges cell
+// results from its worker goroutines.
+type Collector struct {
+	mu      sync.Mutex
+	systems int
+	idx     map[string]int
+	s       []Sample
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Merge folds one system's snapshot into the aggregate: counters sum,
+// gauges keep the maximum observed (high-water semantics).
+func (c *Collector) Merge(snap Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.systems++
+	if c.idx == nil {
+		c.idx = make(map[string]int)
+	}
+	for _, x := range snap {
+		i, ok := c.idx[x.Key]
+		if !ok {
+			c.idx[x.Key] = len(c.s)
+			c.s = append(c.s, x)
+			continue
+		}
+		switch x.Kind {
+		case Counter:
+			c.s[i].Value += x.Value
+		default:
+			if x.Value > c.s[i].Value {
+				c.s[i].Value = x.Value
+			}
+		}
+	}
+}
+
+// Systems reports how many snapshots have been merged.
+func (c *Collector) Systems() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.systems
+}
+
+// Snapshot returns the merged state, sorted by key.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(Snapshot, len(c.s))
+	copy(out, c.s)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -64,9 +64,26 @@ func (w *Window) Oldest() *Pending {
 	return w.pending[0]
 }
 
-// Unacked returns every pending packet in sequence order, for go-back-N
-// retransmission.
-func (w *Window) Unacked() []*Pending { return w.pending }
+// Unacked returns a copy of every pending packet in sequence order, for
+// go-back-N retransmission. It must not alias the window's internal slice:
+// Ack re-slices that backing array, so a caller holding the internal slice
+// could read acked entries as still pending — or corrupt window state by
+// writing through it. Hot paths that retransmit on every timeout use
+// ForEachUnacked to avoid the copy.
+func (w *Window) Unacked() []*Pending {
+	return append([]*Pending(nil), w.pending...)
+}
+
+// ForEachUnacked calls fn for each pending packet in sequence order until
+// fn returns false. It is the allocation-free iteration the retransmission
+// paths use; fn must not call methods that mutate the window.
+func (w *Window) ForEachUnacked(fn func(*Pending) bool) {
+	for _, p := range w.pending {
+		if !fn(p) {
+			return
+		}
+	}
+}
 
 // MarkResent stamps every pending packet as retransmitted at the given
 // instant and bumps retry counts. It returns the highest retry count, so

@@ -170,3 +170,61 @@ func TestRecvSeqProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestUnackedReturnsCopy pins the aliasing fix: Unacked used to return the
+// window's internal slice, whose backing array Ack re-slices in place —
+// mutating the returned slice (or just holding it across an Ack) corrupted
+// go-back-N state. The returned slice must be detached.
+func TestUnackedReturnsCopy(t *testing.T) {
+	var w Window
+	for i := 0; i < 4; i++ {
+		w.Add(i, sim.Time(i))
+	}
+	snap := w.Unacked()
+
+	// Clobbering the snapshot must not reach the window.
+	snap[0] = nil
+	snap[1] = &Pending{Seq: 999}
+	if old := w.Oldest(); old == nil || old.Seq != 0 {
+		t.Fatalf("oldest corrupted by writing through Unacked: %v", old)
+	}
+
+	// Ack shrinks the window by re-slicing; the snapshot keeps the old
+	// contents rather than seeing acked entries mutate under it.
+	snap = w.Unacked()
+	w.Ack(1)
+	if len(snap) != 4 || snap[0].Seq != 0 || snap[3].Seq != 3 {
+		t.Fatalf("snapshot changed by Ack: %v", snap)
+	}
+	if w.Outstanding() != 2 || w.Oldest().Seq != 2 {
+		t.Fatalf("window wrong after Ack: %v", w.Unacked())
+	}
+
+	// After go-back-N resend bookkeeping through ForEachUnacked, the
+	// window still holds exactly the unacked tail, in order.
+	var seen []uint64
+	w.ForEachUnacked(func(p *Pending) bool {
+		seen = append(seen, p.Seq)
+		return true
+	})
+	if len(seen) != 2 || seen[0] != 2 || seen[1] != 3 {
+		t.Fatalf("ForEachUnacked order = %v, want [2 3]", seen)
+	}
+}
+
+// TestForEachUnackedEarlyExit: returning false stops iteration (the paced
+// retransmission burst relies on this).
+func TestForEachUnackedEarlyExit(t *testing.T) {
+	var w Window
+	for i := 0; i < 5; i++ {
+		w.Add(i, 0)
+	}
+	calls := 0
+	w.ForEachUnacked(func(p *Pending) bool {
+		calls++
+		return calls < 2
+	})
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}

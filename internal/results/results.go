@@ -27,6 +27,12 @@ type Set struct {
 	Label       string       `json:"label,omitempty"`
 	Scenario    *Provenance  `json:"scenario,omitempty"`
 	Experiments []Experiment `json:"experiments"`
+
+	// Metrics is the aggregated component-counter snapshot of the runs
+	// that produced the set (vibe-report -metrics), keyed hierarchically
+	// (cpu0.busy_ns, nic0.tlb.misses, fabric.bytes, ...). Informational
+	// provenance: Compare ignores it.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Experiment is one experiment's serialized output.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vibe/internal/core"
+	"vibe/internal/metrics"
 	"vibe/internal/results"
 )
 
@@ -173,6 +174,37 @@ func TestRunGrid(t *testing.T) {
 	}
 	if grid[0][0].Scenario == grid[1][0].Scenario {
 		t.Fatal("sweep cells share a scenario label; axis expansion is broken")
+	}
+}
+
+// TestSharedCollectorUnderParallelRun attaches one metrics.Collector to a
+// scenario and fans the quick registry across 8 workers. Every simulated
+// system merges into the same collector concurrently, so this test is the
+// race detector's view of Collector.Merge; it also checks the merged
+// counters look like a real run (systems seen, events dispatched).
+func TestSharedCollectorUnderParallelRun(t *testing.T) {
+	scs, err := core.CompileScenarios([]core.ScenarioSpec{{}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := metrics.NewCollector()
+	scs[0].Instr = &core.Instr{Metrics: col}
+
+	exps := core.Experiments()
+	grid := RunGrid(exps, scs, Options{Workers: 8})
+	if err := FirstGridError(grid); err != nil {
+		t.Fatal(err)
+	}
+	if col.Systems() < len(exps) {
+		t.Fatalf("collector saw %d systems across %d experiments; every experiment simulates at least one",
+			col.Systems(), len(exps))
+	}
+	snap := col.Snapshot()
+	if v, ok := snap.Get("sim.events_dispatched"); !ok || v == 0 {
+		t.Fatalf("sim.events_dispatched = %v (ok=%v); merged snapshot is empty", v, ok)
+	}
+	if v, ok := snap.Get("fabric.delivered"); !ok || v == 0 {
+		t.Fatalf("fabric.delivered = %v (ok=%v); no packets crossed the fabric", v, ok)
 	}
 }
 

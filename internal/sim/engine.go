@@ -24,6 +24,9 @@ type Engine struct {
 	live    int // number of spawned processes that have not finished
 	blocked int // processes parked on a Signal/Queue/Resource (no wake event pending)
 
+	// dispatched counts events popped and executed, for the metrics layer.
+	dispatched uint64
+
 	stopped bool
 	tracer  Tracer
 }
@@ -123,6 +126,7 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) dispatch(self *Proc, fromMain bool) bool {
 	for !e.stopped && len(e.events.a) > 0 {
 		ev := e.events.pop()
+		e.dispatched++
 		e.now = ev.at
 		if ev.p != nil {
 			p := ev.p
@@ -161,6 +165,12 @@ func (e *Engine) Run() error {
 	}
 	return nil
 }
+
+// EventsDispatched reports how many events the engine has executed.
+func (e *Engine) EventsDispatched() uint64 { return e.dispatched }
+
+// HeapHighWater reports the deepest the event queue has ever been.
+func (e *Engine) HeapHighWater() int { return e.events.hw }
 
 // MustRun is Run, panicking on deadlock. Benchmarks use it so that protocol
 // bugs fail loudly.

@@ -29,6 +29,9 @@ type event struct {
 // of the old binary container/heap and removes its interface{} boxing.
 type eventQueue struct {
 	a []event
+	// hw is the deepest the queue has ever been — the simulation's event
+	// backlog high-water mark, surfaced through the metrics layer.
+	hw int
 }
 
 func evBefore(x, y *event) bool {
@@ -41,6 +44,9 @@ func (q *eventQueue) len() int { return len(q.a) }
 // costs one copy instead of three.
 func (q *eventQueue) push(ev event) {
 	a := append(q.a, ev)
+	if len(a) > q.hw {
+		q.hw = len(a)
+	}
 	i := len(a) - 1
 	for i > 0 {
 		parent := (i - 1) >> 2

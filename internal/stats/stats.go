@@ -8,9 +8,11 @@ import (
 	"sort"
 )
 
-// Summary describes a sample of float64 observations.
+// Summary describes a sample of float64 observations. N counts the valid
+// observations; NaNs counts NaN inputs Summarize dropped.
 type Summary struct {
 	N      int
+	NaNs   int
 	Mean   float64
 	Min    float64
 	Max    float64
@@ -19,36 +21,51 @@ type Summary struct {
 	Stddev float64
 }
 
-// Summarize computes a Summary. An empty sample yields the zero Summary.
+// Summarize computes a Summary, skipping NaN observations (their count is
+// recorded in NaNs). A NaN compares false against everything, so leaving
+// one in would silently scramble sort.Float64s — and with it Min/Max,
+// Median and P99 — while Mean and Stddev would poison to NaN. An empty (or
+// all-NaN) sample yields a Summary with N=0.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
-		return Summary{}
+	var s Summary
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			s.NaNs++
+			continue
+		}
+		clean = append(clean, x)
 	}
-	s := Summary{N: len(xs)}
-	sorted := append([]float64(nil), xs...)
+	if len(clean) == 0 {
+		return s
+	}
+	s.N = len(clean)
+	sorted := append([]float64(nil), clean...)
 	sort.Float64s(sorted)
 	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
 	s.Median = Percentile(sorted, 50)
 	s.P99 = Percentile(sorted, 99)
 
 	var sum float64
-	for _, x := range xs {
+	for _, x := range clean {
 		sum += x
 	}
-	s.Mean = sum / float64(len(xs))
+	s.Mean = sum / float64(len(clean))
 	var ss float64
-	for _, x := range xs {
+	for _, x := range clean {
 		d := x - s.Mean
 		ss += d * d
 	}
-	if len(xs) > 1 {
-		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	if len(clean) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(clean)-1))
 	}
 	return s
 }
 
 // Percentile returns the p-th percentile (0..100) of an already-sorted
-// sample, with linear interpolation.
+// sample, with linear interpolation. The sample must be NaN-free: NaN
+// breaks the sorted-order precondition (Summarize strips NaNs before
+// sorting for exactly this reason).
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
@@ -107,6 +124,10 @@ func RelErr(got, want float64) float64 {
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.3g min=%.3g med=%.3g p99=%.3g max=%.3g sd=%.3g",
+	out := fmt.Sprintf("n=%d mean=%.3g min=%.3g med=%.3g p99=%.3g max=%.3g sd=%.3g",
 		s.N, s.Mean, s.Min, s.Median, s.P99, s.Max, s.Stddev)
+	if s.NaNs > 0 {
+		out += fmt.Sprintf(" (dropped %d NaN)", s.NaNs)
+	}
+	return out
 }

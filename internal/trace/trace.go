@@ -1,73 +1,124 @@
 // Package trace records simulation events for debugging and inspection.
 // It implements sim.Tracer, buffering lines in memory with an optional
-// cap, and can replay them to a writer or filter by substring.
+// cap, and can replay them to a writer, filter by substring, or export
+// them in the Chrome trace-event format (see chrome.go).
 package trace
 
 import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 
 	"vibe/internal/sim"
 )
 
-// Entry is one recorded event.
+// Entry is one recorded event. Pid identifies the simulated system it came
+// from (0 when the Recorder is used directly as a tracer; per-system
+// tracers from ForSystem stamp 1, 2, ...).
 type Entry struct {
 	At   sim.Time
 	What string
+	Pid  int
 }
 
 // Recorder buffers trace entries. The zero value is unbounded; set Limit
-// to cap memory (oldest entries are dropped).
+// to cap memory, in which case the buffer is a ring: once full, each new
+// entry overwrites the oldest in place. (The previous implementation
+// shifted the whole slice down on every append at the limit — an O(Limit)
+// copy per event that made capped tracing quadratic; see
+// BenchmarkTraceAtLimit.) Limit must not change once entries are buffered.
+//
+// A Recorder is not safe for concurrent use: it is meant to observe one
+// single-threaded simulation (or several run sequentially).
 type Recorder struct {
 	Limit   int
-	entries []Entry
+	buf     []Entry
+	head    int // index of the oldest entry once the ring is full
 	dropped uint64
+	nextPid int32
 }
 
 var _ sim.Tracer = (*Recorder)(nil)
 
-// Trace implements sim.Tracer.
-func (r *Recorder) Trace(at sim.Time, what string) {
-	if r.Limit > 0 && len(r.entries) >= r.Limit {
-		copy(r.entries, r.entries[1:])
-		r.entries = r.entries[:len(r.entries)-1]
-		r.dropped++
+// Trace implements sim.Tracer, recording with Pid 0.
+func (r *Recorder) Trace(at sim.Time, what string) { r.trace(0, at, what) }
+
+func (r *Recorder) trace(pid int, at sim.Time, what string) {
+	e := Entry{At: at, What: what, Pid: pid}
+	if r.Limit <= 0 || len(r.buf) < r.Limit {
+		r.buf = append(r.buf, e)
+		return
 	}
-	r.entries = append(r.entries, Entry{At: at, What: what})
+	r.buf[r.head] = e
+	r.head++
+	if r.head == r.Limit {
+		r.head = 0
+	}
+	r.dropped++
 }
 
-// Entries returns the buffered entries, oldest first.
-func (r *Recorder) Entries() []Entry { return r.entries }
+// ForSystem returns a tracer that records into r with a fresh pid, so
+// entries from several sequentially-run simulations can be told apart
+// (e.g. in the Chrome export, where each becomes its own process track).
+func (r *Recorder) ForSystem() sim.Tracer {
+	return &systemTracer{r: r, pid: int(atomic.AddInt32(&r.nextPid, 1))}
+}
+
+type systemTracer struct {
+	r   *Recorder
+	pid int
+}
+
+func (t *systemTracer) Trace(at sim.Time, what string) { t.r.trace(t.pid, at, what) }
+
+// Entries returns a copy of the buffered entries, oldest first.
+func (r *Recorder) Entries() []Entry {
+	out := make([]Entry, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
+// each calls fn for every buffered entry, oldest first, without copying.
+func (r *Recorder) each(fn func(Entry)) {
+	for _, e := range r.buf[r.head:] {
+		fn(e)
+	}
+	for _, e := range r.buf[:r.head] {
+		fn(e)
+	}
+}
 
 // Dropped reports entries discarded due to the Limit.
 func (r *Recorder) Dropped() uint64 { return r.dropped }
 
 // Len reports the number of buffered entries.
-func (r *Recorder) Len() int { return len(r.entries) }
+func (r *Recorder) Len() int { return len(r.buf) }
 
 // Reset discards all buffered entries.
 func (r *Recorder) Reset() {
-	r.entries = r.entries[:0]
+	r.buf = r.buf[:0]
+	r.head = 0
 	r.dropped = 0
 }
 
-// Filter returns the entries whose text contains substr.
+// Filter returns the entries whose text contains substr, oldest first.
 func (r *Recorder) Filter(substr string) []Entry {
 	var out []Entry
-	for _, e := range r.entries {
+	r.each(func(e Entry) {
 		if strings.Contains(e.What, substr) {
 			out = append(out, e)
 		}
-	}
+	})
 	return out
 }
 
-// Dump writes all entries to w, one per line.
+// Dump writes all entries to w, one per line, oldest first.
 func (r *Recorder) Dump(w io.Writer) {
-	for _, e := range r.entries {
+	r.each(func(e Entry) {
 		fmt.Fprintf(w, "%12v  %s\n", e.At, e.What)
-	}
+	})
 	if r.dropped > 0 {
 		fmt.Fprintf(w, "(%d earlier entries dropped)\n", r.dropped)
 	}

@@ -60,6 +60,29 @@ func TestRecorderFilterAndDump(t *testing.T) {
 	}
 }
 
+// TestRecorderRingOrder exercises wraparound: after many events through a
+// small ring, Entries/Filter/Dump must still present the survivors oldest
+// first, with the drop count right.
+func TestRecorderRingOrder(t *testing.T) {
+	r := Recorder{Limit: 4}
+	for i := 1; i <= 10; i++ {
+		r.Trace(sim.Time(i), string(rune('a'+i-1)))
+	}
+	if r.Len() != 4 || r.Dropped() != 6 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	es := r.Entries()
+	want := []string{"g", "h", "i", "j"}
+	for i, w := range want {
+		if es[i].What != w || es[i].At != sim.Time(7+i) {
+			t.Fatalf("entries = %v, want %v", es, want)
+		}
+	}
+	if got := r.Filter("i"); len(got) != 1 || got[0].At != 9 {
+		t.Fatalf("filter = %v", got)
+	}
+}
+
 func TestRecorderWithEngine(t *testing.T) {
 	e := sim.NewEngine(1)
 	var r Recorder

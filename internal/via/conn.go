@@ -180,6 +180,16 @@ func (v *Vi) Disconnect(ctx *Ctx) error {
 func (v *Vi) teardown(st ViState) {
 	v.flushQueues(StatusFlushed)
 	if v.conn != nil {
+		// Absorb the connection's reliability counters into the NIC (then
+		// zero them) so metrics collection after teardown still sees them,
+		// and collection of a live connection never double counts.
+		n := v.nic
+		n.winAcked += v.conn.window.Acked
+		n.winRetransmits += v.conn.window.Retransmits
+		n.recvDups += v.conn.recvSeq.Duplicates
+		n.recvGaps += v.conn.recvSeq.Gaps
+		v.conn.window.Acked, v.conn.window.Retransmits = 0, 0
+		v.conn.recvSeq.Duplicates, v.conn.recvSeq.Gaps = 0, 0
 		v.conn.window.Reset()
 		v.conn.reasm.Abort()
 		v.conn.rdmaReasm.Abort()

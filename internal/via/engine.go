@@ -115,9 +115,11 @@ func (n *Nic) sendData(p *sim.Proc, vi *Vi, d *Descriptor) {
 	var lastTx sim.Time
 	for _, f := range frags {
 		p.Sleep(m.PerFragment)
+		n.FragsSent++
 		if f.Size > 0 {
 			p.Sleep(n.xlateCost(pagesIn(runs, f.Offset, f.Size)))
 			p.Sleep(sim.Duration(f.Size) * m.DMAPerByte)
+			n.DMABytesOut += uint64(f.Size)
 		}
 		data := sys.bufs.Get(f.Size)
 		gather(runs, f.Offset, data)
@@ -171,6 +173,7 @@ func (n *Nic) sendReadRequest(p *sim.Proc, vi *Vi, d *Descriptor) {
 		return
 	}
 	p.Sleep(m.PerFragment)
+	n.FragsSent++
 	n.nextReadID++
 	id := n.nextReadID
 	conn.outstandingReads[id] = &readState{desc: d, runs: runs}
@@ -296,6 +299,7 @@ func (n *Nic) sendAck(p *sim.Proc, vi *Vi) {
 		return
 	}
 	p.Sleep(n.model.AckProcessing)
+	n.AcksSent++
 	n.send(&wirePacket{
 		kind:   pktAck,
 		srcVi:  vi.id,
@@ -307,6 +311,7 @@ func (n *Nic) sendAck(p *sim.Proc, vi *Vi) {
 func (n *Nic) handleData(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	m := n.model
 	p.Sleep(m.PerFragmentRecv)
+	n.FragsRecv++
 	vi := n.lookupVi(src, pkt)
 	if vi == nil {
 		return
@@ -378,6 +383,7 @@ func (n *Nic) handleData(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	if ok && pkt.frag.Size > 0 {
 		p.Sleep(n.xlateCost(pagesIn(conn.curRecvRuns, pkt.frag.Offset, pkt.frag.Size)))
 		p.Sleep(sim.Duration(pkt.frag.Size) * m.DMAPerByte)
+		n.DMABytesIn += uint64(pkt.frag.Size)
 		scatter(conn.curRecvRuns, pkt.frag.Offset, pkt.data)
 		if m.HostCopies {
 			// Kernel-emulated VIA (M-VIA) copies each arriving fragment
@@ -421,6 +427,7 @@ func (n *Nic) finishRecv(vi *Vi, d *Descriptor, st Status, length int, delay sim
 func (n *Nic) handleRdmaWrite(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	m := n.model
 	p.Sleep(m.PerFragmentRecv)
+	n.FragsRecv++
 	vi := n.lookupVi(src, pkt)
 	if vi == nil {
 		return
@@ -457,6 +464,7 @@ func (n *Nic) handleRdmaWrite(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 			run := []segRun{{addr: addr, data: data}}
 			p.Sleep(n.xlateCost(pagesIn(run, 0, pkt.frag.Size)))
 			p.Sleep(sim.Duration(pkt.frag.Size) * m.DMAPerByte)
+			n.DMABytesIn += uint64(pkt.frag.Size)
 			copy(data, pkt.data)
 		}
 	}
@@ -512,9 +520,11 @@ func (n *Nic) handleReadReq(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	runs := []segRun{{addr: pkt.remoteAddr, data: data}}
 	for _, f := range nicsim.Fragments(pkt.msgTotal, m.WireMTU) {
 		p.Sleep(m.PerFragment)
+		n.FragsSent++
 		if f.Size > 0 {
 			p.Sleep(n.xlateCost(pagesIn(runs, f.Offset, f.Size)))
 			p.Sleep(sim.Duration(f.Size) * m.DMAPerByte)
+			n.DMABytesOut += uint64(f.Size)
 		}
 		buf := sys.bufs.Get(f.Size)
 		gather(runs, f.Offset, buf)
@@ -536,6 +546,7 @@ func (n *Nic) handleReadReq(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 func (n *Nic) handleReadResp(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	m := n.model
 	p.Sleep(m.PerFragmentRecv)
+	n.FragsRecv++
 	vi := n.lookupVi(src, pkt)
 	if vi == nil {
 		return
@@ -554,6 +565,7 @@ func (n *Nic) handleReadResp(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	if ok && pkt.frag.Size > 0 {
 		p.Sleep(n.xlateCost(pagesIn(rs.runs, pkt.frag.Offset, pkt.frag.Size)))
 		p.Sleep(sim.Duration(pkt.frag.Size) * m.DMAPerByte)
+		n.DMABytesIn += uint64(pkt.frag.Size)
 		scatter(rs.runs, pkt.frag.Offset, pkt.data)
 	}
 	if done {
@@ -564,6 +576,7 @@ func (n *Nic) handleReadResp(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 
 func (n *Nic) handleAck(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	p.Sleep(n.model.AckProcessing)
+	n.AcksRecv++
 	vi := n.lookupVi(src, pkt)
 	if vi == nil {
 		return
@@ -589,12 +602,13 @@ func (n *Nic) handleErrAck(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 			n.completeSend(vi, rs.desc, pkt.errSts, 0)
 		}
 	} else {
-		for _, pend := range conn.window.Unacked() {
+		conn.window.ForEachUnacked(func(pend *nicsim.Pending) bool {
 			ref := pend.Item.(*sendRef)
 			if ref.desc != nil && ref.pkt.msgID == pkt.errMsg {
 				n.completeSend(vi, ref.desc, pkt.errSts, 0)
 			}
-		}
+			return true
+		})
 	}
 	// A protection error on a reliable connection is fatal: the VIA
 	// transitions the connection to the error state.
@@ -606,12 +620,13 @@ func (n *Nic) handleErrAck(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 // down.
 func (n *Nic) failConn(vi *Vi) {
 	conn := vi.conn
-	for _, pend := range conn.window.Unacked() {
+	conn.window.ForEachUnacked(func(pend *nicsim.Pending) bool {
 		ref := pend.Item.(*sendRef)
 		if ref.desc != nil {
 			n.completeSend(vi, ref.desc, StatusTransportError, 0)
 		}
-	}
+		return true
+	})
 	for id, rs := range conn.outstandingReads {
 		delete(conn.outstandingReads, id)
 		n.completeSend(vi, rs.desc, StatusTransportError, 0)
@@ -674,9 +689,9 @@ func (n *Nic) rtoFire(vi *Vi) {
 	// its own retransmissions).
 	const resendBurst = 32
 	resent := 0
-	for _, pend := range conn.window.Unacked() {
+	conn.window.ForEachUnacked(func(pend *nicsim.Pending) bool {
 		if resent >= resendBurst {
-			break
+			return false
 		}
 		pend.SentAt = eng.Now()
 		pend.Retries++
@@ -684,7 +699,8 @@ func (n *Nic) rtoFire(vi *Vi) {
 		ref := pend.Item.(*sendRef)
 		n.send(ref.pkt, conn.peerNode)
 		resent++
-	}
+		return true
+	})
 	// Exponential backoff while the oldest sequence makes no progress:
 	// under heavy queueing the true round trip dwarfs the base timeout,
 	// and retransmitting at the base rate would congest the link with

@@ -1,0 +1,103 @@
+package via
+
+import (
+	"strconv"
+
+	"vibe/internal/metrics"
+)
+
+// SetCollector arranges for the system's metrics snapshot to be merged into
+// c when Run finishes. Counters always accumulate (they are cheap integer
+// increments that never touch virtual time); the collector only controls
+// whether anyone reads them, so simulations without one behave — and time —
+// identically.
+func (s *System) SetCollector(c *metrics.Collector) { s.collector = c }
+
+// CollectMetrics snapshots every component counter of the system under
+// hierarchical keys: sim.* (engine), cpu{i}.* (host processors), nic{i}.*
+// (NIC engines, TLB, reliability window), via{i}.* (VIPL-level operations),
+// link{i}.* (per-host fabric links), fabric.* (whole interconnect).
+func (s *System) CollectMetrics() metrics.Snapshot {
+	r := metrics.New()
+
+	r.AddUint("sim.events_dispatched", s.Eng.EventsDispatched())
+	r.Gauge("sim.heap_high_water", float64(s.Eng.HeapHighWater()))
+
+	elapsed := s.Eng.Now().Sub(0)
+	for i, h := range s.hosts {
+		cpuK := "cpu" + strconv.Itoa(i)
+		busy := h.CPU.Busy()
+		r.Add(metrics.Join(cpuK, "busy_ns"), float64(busy))
+		if idle := elapsed - busy; idle > 0 {
+			r.Add(metrics.Join(cpuK, "idle_ns"), float64(idle))
+		} else {
+			r.Add(metrics.Join(cpuK, "idle_ns"), 0)
+		}
+		r.Add(metrics.Join(cpuK, "spin_ns"), float64(h.CPU.SpinBusy()))
+		r.Add(metrics.Join(cpuK, "wake_ns"), float64(h.CPU.WakeBusy()))
+		r.AddUint(metrics.Join(cpuK, "spin_waits"), h.CPU.SpinWaits())
+		r.AddUint(metrics.Join(cpuK, "block_waits"), h.CPU.BlockWaits())
+
+		n := h.nic
+		nicK := "nic" + strconv.Itoa(i)
+		// One doorbell consumed is exactly one descriptor fetch in this
+		// NIC model, but the two keys map to distinct paper cost terms.
+		r.AddUint(metrics.Join(nicK, "doorbells"), n.SendsProcessed)
+		r.AddUint(metrics.Join(nicK, "desc_fetches"), n.SendsProcessed)
+		if n.tlb != nil {
+			r.AddUint(metrics.Join(nicK, "tlb", "hits"), n.tlb.Hits)
+			r.AddUint(metrics.Join(nicK, "tlb", "misses"), n.tlb.Misses)
+		}
+		r.AddUint(metrics.Join(nicK, "dma", "bytes_out"), n.DMABytesOut)
+		r.AddUint(metrics.Join(nicK, "dma", "bytes_in"), n.DMABytesIn)
+		r.AddUint(metrics.Join(nicK, "frags", "sent"), n.FragsSent)
+		r.AddUint(metrics.Join(nicK, "frags", "recv"), n.FragsRecv)
+		r.AddUint(metrics.Join(nicK, "acks", "sent"), n.AcksSent)
+		r.AddUint(metrics.Join(nicK, "acks", "recv"), n.AcksRecv)
+		r.AddUint(metrics.Join(nicK, "drops", "no_desc"), n.DroppedNoDesc)
+
+		// Window/sequence counters: what live connections hold now, plus
+		// what teardown absorbed into the NIC (teardown zeroes the
+		// connection's counters, so the sum never double counts).
+		acked, retx := n.winAcked, n.winRetransmits
+		dups, gaps := n.recvDups, n.recvGaps
+		for _, vi := range n.vis {
+			if vi.conn != nil {
+				acked += vi.conn.window.Acked
+				retx += vi.conn.window.Retransmits
+				dups += vi.conn.recvSeq.Duplicates
+				gaps += vi.conn.recvSeq.Gaps
+			}
+		}
+		r.AddUint(metrics.Join(nicK, "window", "acked"), acked)
+		r.AddUint(metrics.Join(nicK, "window", "retransmits"), retx)
+		r.AddUint(metrics.Join(nicK, "window", "recv_duplicates"), dups)
+		r.AddUint(metrics.Join(nicK, "window", "recv_gaps"), gaps)
+
+		viaK := "via" + strconv.Itoa(i)
+		r.AddUint(metrics.Join(viaK, "sends_posted"), n.PostedSends)
+		r.AddUint(metrics.Join(viaK, "recvs_posted"), n.PostedRecvs)
+		r.AddUint(metrics.Join(viaK, "recvs_completed"), n.RecvsCompleted)
+		r.AddUint(metrics.Join(viaK, "rdma", "writes"), n.RdmaWrites)
+		r.AddUint(metrics.Join(viaK, "rdma", "reads"), n.RdmaReads)
+		r.AddUint(metrics.Join(viaK, "completions", "unreliable"), n.completions[Unreliable])
+		r.AddUint(metrics.Join(viaK, "completions", "delivery"), n.completions[ReliableDelivery])
+		r.AddUint(metrics.Join(viaK, "completions", "reception"), n.completions[ReliableReception])
+
+		ls := s.Net.LinkStats(h.id)
+		linkK := "link" + strconv.Itoa(i)
+		r.AddUint(metrics.Join(linkK, "tx_packets"), ls.TxPackets)
+		r.AddUint(metrics.Join(linkK, "tx_bytes"), ls.TxBytes)
+		r.AddUint(metrics.Join(linkK, "rx_packets"), ls.RxPackets)
+		r.AddUint(metrics.Join(linkK, "rx_bytes"), ls.RxBytes)
+	}
+
+	r.AddUint("fabric.sent", s.Net.Sent)
+	r.AddUint("fabric.delivered", s.Net.Delivered)
+	r.AddUint("fabric.dropped", s.Net.Dropped)
+	r.AddUint("fabric.bytes", s.Net.BytesSent)
+	r.Add("fabric.serialization_ns", float64(s.Net.SerTime))
+	r.Add("fabric.propagation_ns", float64(s.Net.PropTime))
+
+	return r.Snapshot()
+}

@@ -35,10 +35,36 @@ type Nic struct {
 	nextMsgID  uint64
 	nextReadID uint64
 
-	// Counters exposed for tests and reports.
+	// Counters exposed for tests and reports. SendsProcessed counts
+	// doorbells the send engine consumed; each consumption is also exactly
+	// one descriptor fetch in this NIC model.
 	SendsProcessed uint64
 	RecvsCompleted uint64
 	DroppedNoDesc  uint64
+
+	// Data-path counters for the metrics layer: wire fragments and DMA
+	// bytes in each direction, acks on the reliability protocol, and
+	// posted work by operation.
+	FragsSent   uint64
+	FragsRecv   uint64
+	DMABytesOut uint64
+	DMABytesIn  uint64
+	AcksSent    uint64
+	AcksRecv    uint64
+
+	PostedSends uint64
+	PostedRecvs uint64
+	RdmaWrites  uint64
+	RdmaReads   uint64
+
+	// completions counts completed descriptors by the VI's reliability
+	// level (Unreliable, ReliableDelivery, ReliableReception).
+	completions [3]uint64
+
+	// Window/sequence counters absorbed from connections at teardown;
+	// live connections are added on top at collection time.
+	winAcked, winRetransmits uint64
+	recvDups, recvGaps       uint64
 }
 
 func newNic(h *Host) *Nic {

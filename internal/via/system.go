@@ -15,6 +15,7 @@ import (
 
 	"vibe/internal/cpu"
 	"vibe/internal/fabric"
+	"vibe/internal/metrics"
 	"vibe/internal/nicsim"
 	"vibe/internal/provider"
 	"vibe/internal/sim"
@@ -35,6 +36,11 @@ type System struct {
 	// pooled buffer can never alias an in-flight retransmission.
 	bufs    *nicsim.BufPool
 	pktFree []*wirePacket
+
+	// collector, when set, receives the system's metrics snapshot once,
+	// after the first Run completes (see SetCollector in metrics.go).
+	collector *metrics.Collector
+	collected bool
 }
 
 // getPkt draws a zeroed wirePacket from the free list, allocating on miss.
@@ -96,11 +102,24 @@ func (s *System) Go(node int, name string, fn func(ctx *Ctx)) {
 }
 
 // Run drives the simulation until every user process finishes. It returns
-// an error on deadlock (a protocol bug in the simulated code).
-func (s *System) Run() error { return s.Eng.Run() }
+// an error on deadlock (a protocol bug in the simulated code). If a metrics
+// collector is installed, the system's snapshot is merged into it when the
+// first Run completes.
+func (s *System) Run() error {
+	err := s.Eng.Run()
+	if s.collector != nil && !s.collected {
+		s.collected = true
+		s.collector.Merge(s.CollectMetrics())
+	}
+	return err
+}
 
 // MustRun is Run, panicking on error.
-func (s *System) MustRun() { s.Eng.MustRun() }
+func (s *System) MustRun() {
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+}
 
 // Host is one simulated machine: a CPU, an address space, and a VIA NIC.
 type Host struct {

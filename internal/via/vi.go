@@ -109,6 +109,9 @@ func (wq *workQueue) complete(d *Descriptor, st Status, length int) {
 	if wq.isRecv {
 		wq.vi.nic.RecvsCompleted++
 	}
+	if lv := int(wq.vi.attrs.Reliability); lv >= 0 && lv < len(wq.vi.nic.completions) {
+		wq.vi.nic.completions[lv]++
+	}
 	if wq.isRecv && wq.vi.recvNotify != nil {
 		wq.dispatchNotify()
 		return
@@ -221,6 +224,14 @@ func (v *Vi) PostSend(ctx *Ctx, d *Descriptor) error {
 	cost += m.DoorbellCost
 	ctx.use(cost)
 
+	switch d.Op {
+	case OpRdmaWrite:
+		v.nic.RdmaWrites++
+	case OpRdmaRead:
+		v.nic.RdmaReads++
+	default:
+		v.nic.PostedSends++
+	}
 	v.sendQ.post(d)
 	v.nic.ring(v, d)
 	return nil
@@ -244,6 +255,7 @@ func (v *Vi) PostRecv(ctx *Ctx, d *Descriptor) error {
 		cost += sim.Duration(extra) * m.PerSegmentCost
 	}
 	ctx.use(cost)
+	v.nic.PostedRecvs++
 	v.recvQ.post(d)
 	return nil
 }
