@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check cover bench bench-sim quick clean
+.PHONY: all build vet test race chaos check cover bench bench-sim quick clean
 
 all: check
 
@@ -20,6 +20,14 @@ test:
 
 race:
 	$(GO) test -race ./internal/runner/... ./internal/metrics/... ./internal/trace/...
+
+# Seeded chaos soak: run CHAOS_PLANS random fault plans against the VIA
+# stack under the race detector. Every wait in the soak is bounded, so a
+# hang is a simulation deadlock and fails the run; the timeout bounds the
+# wall clock regardless.
+CHAOS_PLANS ?= 200
+chaos:
+	VIBE_CHAOS_PLANS=$(CHAOS_PLANS) $(GO) test -race -run TestChaosSoak -timeout 10m ./internal/via/
 
 check: vet build test race
 

@@ -12,6 +12,7 @@
 //	vibe-report -json out.json  # also save machine-readable results
 //	vibe-report -set DoorbellCost=2us          # override model parameters
 //	vibe-report -scenario tuned.json           # load a scenario file
+//	vibe-report -exp XLOSS -fault plan.json    # inject a fault plan everywhere
 //	vibe-report -sweep TLBCapacity=8,32,128    # run the grid of scenarios
 //	vibe-report -compare base.json -tol 0.05   # diff against a saved set
 //	vibe-report -parallel 4     # run cells on 4 workers (default: NumCPU)
@@ -36,6 +37,7 @@ import (
 
 	"vibe/internal/bench"
 	"vibe/internal/core"
+	"vibe/internal/fault"
 	"vibe/internal/metrics"
 	"vibe/internal/provider"
 	"vibe/internal/results"
@@ -65,6 +67,7 @@ func main() {
 		tol          = flag.Float64("tol", 0.02, "relative tolerance for -compare")
 		parallel     = flag.Int("parallel", runtime.NumCPU(), "number of experiment cells run concurrently")
 		scenarioPath = flag.String("scenario", "", "JSON scenario file: {\"base\":..., \"set\":{...}, \"run\":{...}}")
+		faultPath    = flag.String("fault", "", "JSON fault plan file installed into every simulated system (wins over the scenario file's plan)")
 		benchOut     = flag.String("bench", "", "time sequential vs parallel and write the report to this JSON file (use with -quick for a fast pass)")
 		baseMs       = flag.Float64("bench-baseline-ms", 0, "earlier revision's sequential wall time in ms; with -bench, speedup is computed against it")
 		baseLabel    = flag.String("bench-baseline-label", "", "label describing the -bench-baseline-ms revision")
@@ -90,7 +93,7 @@ func main() {
 		exps = []*core.Experiment{e}
 	}
 
-	spec, err := buildSpec(*scenarioPath, sets)
+	spec, err := buildSpec(*scenarioPath, sets, *faultPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -241,9 +244,9 @@ func main() {
 	os.Exit(exitCode)
 }
 
-// buildSpec assembles the scenario spec from -scenario and -set flags;
-// -set entries win over the file's.
-func buildSpec(path string, sets []string) (core.ScenarioSpec, error) {
+// buildSpec assembles the scenario spec from -scenario, -set and -fault
+// flags; -set entries and the -fault plan win over the file's.
+func buildSpec(path string, sets []string, faultPath string) (core.ScenarioSpec, error) {
 	var spec core.ScenarioSpec
 	if path != "" {
 		s, err := core.LoadScenarioSpec(path)
@@ -263,6 +266,13 @@ func buildSpec(path string, sets []string) (core.ScenarioSpec, error) {
 		for k, v := range kv {
 			spec.Set[k] = v
 		}
+	}
+	if faultPath != "" {
+		p, err := fault.Load(faultPath)
+		if err != nil {
+			return spec, err
+		}
+		spec.Fault = p
 	}
 	return spec, nil
 }

@@ -11,6 +11,7 @@
 //	vibe -provider clan -bench latency -set DoorbellCost=2us
 //	vibe -provider clan -bench latency -sweep TLBCapacity=8,32,128
 //	vibe -provider mvia -bench bandwidth -scenario tuned.json
+//	vibe -provider clan -bench bandwidth -reliability delivery -fault plan.json
 //	vibe -bench suite -quick -parallel 4
 package main
 
@@ -24,6 +25,7 @@ import (
 
 	"vibe/internal/bench"
 	"vibe/internal/core"
+	"vibe/internal/fault"
 	"vibe/internal/logp"
 	"vibe/internal/metrics"
 	"vibe/internal/mp"
@@ -202,6 +204,7 @@ func main() {
 		prov         = flag.String("provider", "clan", providerHelp())
 		benchSel     = flag.String("bench", "latency", benchHelp())
 		scenarioPath = flag.String("scenario", "", "JSON scenario file: {\"base\":..., \"set\":{...}, \"run\":{...}}")
+		faultPath    = flag.String("fault", "", "JSON fault plan file installed into every simulated system (wins over the scenario file's plan)")
 		sizesArg     = flag.String("sizes", "", "comma-separated message sizes (default: paper ladder)")
 		mode         = flag.String("mode", "poll", "completion mode: poll or block")
 		useCQ        = flag.Bool("cq", false, "check receive completions via a completion queue")
@@ -232,7 +235,7 @@ func main() {
 		return
 	}
 
-	spec, err := buildSpec(*scenarioPath, sets)
+	spec, err := buildSpec(*scenarioPath, sets, *faultPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -395,9 +398,9 @@ func main() {
 	}
 }
 
-// buildSpec assembles the scenario spec from -scenario and -set flags;
-// -set entries win over the file's.
-func buildSpec(path string, sets []string) (core.ScenarioSpec, error) {
+// buildSpec assembles the scenario spec from -scenario, -set and -fault
+// flags; -set entries and the -fault plan win over the file's.
+func buildSpec(path string, sets []string, faultPath string) (core.ScenarioSpec, error) {
 	var spec core.ScenarioSpec
 	if path != "" {
 		s, err := core.LoadScenarioSpec(path)
@@ -417,6 +420,13 @@ func buildSpec(path string, sets []string) (core.ScenarioSpec, error) {
 		for k, v := range kv {
 			spec.Set[k] = v
 		}
+	}
+	if faultPath != "" {
+		p, err := fault.Load(faultPath)
+		if err != nil {
+			return spec, err
+		}
+		spec.Fault = p
 	}
 	return spec, nil
 }

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"vibe/internal/fault"
 	"vibe/internal/provider"
 	"vibe/internal/sim"
 	"vibe/internal/via"
@@ -61,6 +62,12 @@ type Config struct {
 	// Instr, when non-nil, attaches instrumentation (metrics collection,
 	// tracing) to every system the experiments build. See Instr.
 	Instr *Instr
+
+	// Fault, when non-nil, is the fault plan installed into every system
+	// the experiments build. Each system compiles its own injector, so
+	// plans replay identically across experiments and runs. Empty plans
+	// are zero-cost: results stay byte-identical to a plan-free run.
+	Fault *fault.Plan
 }
 
 // DefaultConfig returns the configuration used for the paper

@@ -19,9 +19,14 @@ type Instr struct {
 	Trace   *trace.Recorder
 }
 
-// instrument attaches the config's instrumentation sinks to a freshly
-// built system. Every experiment calls it right after via.NewSystem.
+// instrument attaches the config's instrumentation sinks and fault plan
+// to a freshly built system. Every experiment calls it right after
+// via.NewSystem, so one Config.Fault reaches every simulation a scenario
+// runs.
 func (c Config) instrument(sys *via.System) {
+	if c.Fault != nil {
+		sys.InstallFaults(c.Fault)
+	}
 	if c.Instr == nil {
 		return
 	}

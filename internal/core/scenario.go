@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"vibe/internal/fault"
 	"vibe/internal/provider"
 )
 
@@ -23,12 +24,15 @@ func (r RunOverrides) IsZero() bool { return r == RunOverrides{} }
 
 // ScenarioSpec is the serializable scenario description: a provider
 // derivation (base model + parameter overrides) plus run-config
-// adjustments. It is the on-disk scenario-file schema:
+// adjustments and an optional fault plan. It is the on-disk
+// scenario-file schema:
 //
-//	{"base": "clan", "set": {"DoorbellCost": "2us"}, "run": {"iters": 100}}
+//	{"base": "clan", "set": {"DoorbellCost": "2us"}, "run": {"iters": 100},
+//	 "fault": {"seed": 7, "faults": [{"kind": "drop-nth", "nth": 40}]}}
 type ScenarioSpec struct {
 	provider.Scenario
-	Run RunOverrides `json:"run,omitzero"`
+	Run   RunOverrides `json:"run,omitzero"`
+	Fault *fault.Plan  `json:"fault,omitempty"`
 }
 
 // Save writes the spec as indented JSON — the file format
@@ -69,6 +73,9 @@ func NewScenario(spec ScenarioSpec, quick bool) (*Scenario, error) {
 	}
 	ovs, err := spec.Compile()
 	if err != nil {
+		return nil, err
+	}
+	if err := spec.Fault.Validate(); err != nil {
 		return nil, err
 	}
 	return &Scenario{Spec: spec, Quick: quick, ovs: ovs}, nil
@@ -152,6 +159,7 @@ func (sc *Scenario) Config(m *provider.Model) Config {
 		cfg.NonDataReps = r.NonDataReps
 	}
 	cfg.Instr = sc.Instr
+	cfg.Fault = sc.Spec.Fault
 	return cfg
 }
 

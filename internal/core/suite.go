@@ -50,7 +50,7 @@ func Experiments() []*Experiment {
 	return []*Experiment{
 		expT1(), expF1(), expF2(), expF3(), expF4(), expF5(), expF6(), expF7(),
 		expTCQ(),
-		expXSEG(), expXASY(), expXRDMA(), expXPIPE(), expXMTU(), expXREL(), expXLOSS(),
+		expXSEG(), expXASY(), expXRDMA(), expXPIPE(), expXMTU(), expXREL(), expXLOSS(), expXFAULT(),
 		expPMMP(), expPMGP(), expPMEAGER(), expPMSOCK(), expPMDSM(),
 		expEXTPROV(),
 		expATLB(), expAXLAT(), expADOOR(), expAPOLL(),

@@ -57,12 +57,77 @@ type Delivery struct {
 	Dst     NodeID
 	Size    int // wire payload bytes (excluding frame overhead)
 	Payload interface{}
+
+	// Corrupted marks a packet whose frame check failed in flight. The
+	// fabric still delivers it — detection happens at the receiving NIC,
+	// which discards the frame — so corruption costs wire time, exactly
+	// like a real CRC drop.
+	Corrupted bool
+
+	// Shared marks a delivery whose Payload is aliased by another copy
+	// (fault-injected duplication). Receivers must not recycle shared
+	// payloads back into sender-owned free lists.
+	Shared bool
 }
 
 // DropFilter decides whether a particular packet should be lost. It runs
-// before the random drop check; returning true drops the packet. The index
-// is a global packet sequence number, so tests can target exact packets.
+// after the injector chain and before the random drop check; returning
+// true drops the packet. The index is a global packet sequence number, so
+// tests can target exact packets.
 type DropFilter func(index uint64, d Delivery) bool
+
+// DropCause classifies why the fabric dropped a packet.
+type DropCause int
+
+const (
+	// DropCauseFault: an injector chain verdict (fault plans, link outages).
+	DropCauseFault DropCause = iota
+	// DropCauseFilter: the SetDropFilter callback.
+	DropCauseFilter
+	// DropCauseRate: the probabilistic Params.DropRate coin.
+	DropCauseRate
+
+	dropCauses
+)
+
+// String names the cause for metrics keys and error messages.
+func (c DropCause) String() string {
+	switch c {
+	case DropCauseFault:
+		return "fault"
+	case DropCauseFilter:
+		return "filter"
+	case DropCauseRate:
+		return "rate"
+	}
+	return "unknown"
+}
+
+// PacketFault is an injector's verdict on one packet. The zero value means
+// "deliver untouched". Verdicts from a chain of injectors combine: any
+// drop wins, corruption and duplication accumulate, delays add.
+type PacketFault struct {
+	Drop       bool
+	Corrupt    bool
+	Duplicates int
+	Delay      sim.Duration
+}
+
+// merge combines two verdicts on the same packet.
+func (f PacketFault) merge(g PacketFault) PacketFault {
+	f.Drop = f.Drop || g.Drop
+	f.Corrupt = f.Corrupt || g.Corrupt
+	f.Duplicates += g.Duplicates
+	f.Delay += g.Delay
+	return f
+}
+
+// PacketInjector inspects every packet entering the fabric and returns a
+// fault verdict. Injectors run on the sender's side before loss checks;
+// index is the same global packet sequence number DropFilter sees.
+type PacketInjector interface {
+	InjectPacket(index uint64, now sim.Time, d *Delivery) PacketFault
+}
 
 type port struct {
 	up   *sim.Pipe // node -> switch
@@ -72,12 +137,21 @@ type port struct {
 	// Per-link traffic counters (wire payload bytes, like BytesSent).
 	txPkts, txBytes uint64
 	rxPkts, rxBytes uint64
+
+	// Drops of packets this node transmitted, split by cause.
+	drops [dropCauses]uint64
 }
 
-// LinkStats is one attached link's traffic totals.
+// LinkStats is one attached link's traffic totals. Drops are attributed
+// to the transmitting link, split by cause; Dropped is their sum.
 type LinkStats struct {
 	TxPackets, TxBytes uint64
 	RxPackets, RxBytes uint64
+
+	Dropped       uint64
+	DroppedFault  uint64 // injector chain (fault plans, link outages)
+	DroppedFilter uint64 // SetDropFilter callback
+	DroppedRate   uint64 // probabilistic Params.DropRate
 }
 
 // Network is a star topology: every node connects to one crossbar switch.
@@ -87,16 +161,23 @@ type Network struct {
 	ports  []*port
 
 	dropFilter DropFilter
+	injectors  []PacketInjector
 
 	// delFree recycles Delivery objects so the per-packet hot path does
 	// not allocate. Engine-local: the simulation is single-threaded.
 	delFree []*Delivery
 
-	// Counters for tests and reporting.
-	Sent      uint64
-	Delivered uint64
-	Dropped   uint64
-	BytesSent uint64
+	// Counters for tests and reporting. Dropped is the total across all
+	// causes; droppedBy splits it (see DroppedBy). With fault-injected
+	// duplication, Delivered = Sent - Dropped + Duplicated.
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64
+	BytesSent  uint64
+	Duplicated uint64 // extra copies scheduled by injectors
+	Corrupted  uint64 // packets marked corrupt in flight
+
+	droppedBy [dropCauses]uint64
 
 	// SerTime accumulates link occupancy spent serializing packets (both
 	// link halves); PropTime accumulates the propagation plus switch
@@ -138,12 +219,31 @@ func (nw *Network) Inbox(id NodeID) *sim.Queue {
 // filter.
 func (nw *Network) SetDropFilter(f DropFilter) { nw.dropFilter = f }
 
+// AddInjector appends an injector to the fault chain. Injectors run in
+// installation order on every packet, before the drop filter and the
+// random loss check.
+func (nw *Network) AddInjector(inj PacketInjector) {
+	nw.injectors = append(nw.injectors, inj)
+}
+
+// DroppedBy reports how many packets were dropped for the given cause.
+func (nw *Network) DroppedBy(c DropCause) uint64 {
+	if c < 0 || c >= dropCauses {
+		return 0
+	}
+	return nw.droppedBy[c]
+}
+
 // LinkStats reports node id's link traffic totals.
 func (nw *Network) LinkStats(id NodeID) LinkStats {
 	p := nw.port(id)
 	return LinkStats{
 		TxPackets: p.txPkts, TxBytes: p.txBytes,
 		RxPackets: p.rxPkts, RxBytes: p.rxBytes,
+		Dropped:       p.drops[DropCauseFault] + p.drops[DropCauseFilter] + p.drops[DropCauseRate],
+		DroppedFault:  p.drops[DropCauseFault],
+		DroppedFilter: p.drops[DropCauseFilter],
+		DroppedRate:   p.drops[DropCauseRate],
 	}
 }
 
@@ -187,32 +287,65 @@ func (nw *Network) Send(src, dst NodeID, size int, payload interface{}) sim.Time
 	sp.txPkts++
 	sp.txBytes += uint64(size)
 
+	idx := nw.Sent - 1
 	d := nw.getDelivery()
 	d.Src, d.Dst, d.Size, d.Payload = src, dst, size, payload
-	if nw.dropFilter != nil && nw.dropFilter(nw.Sent-1, *d) {
-		nw.Dropped++
-		nw.Recycle(d)
-		return txDone
+
+	// Fault chain first: an injected drop models a deliberate outage and
+	// pre-empts the (rng-consuming) random loss check.
+	var f PacketFault
+	for _, inj := range nw.injectors {
+		f = f.merge(inj.InjectPacket(idx, nw.eng.Now(), d))
 	}
-	if nw.params.DropRate > 0 && nw.eng.Rand().Float64() < nw.params.DropRate {
-		nw.Dropped++
-		nw.Recycle(d)
-		return txDone
+	switch {
+	case f.Drop:
+		return nw.drop(sp, d, DropCauseFault, txDone)
+	case nw.dropFilter != nil && nw.dropFilter(idx, *d):
+		return nw.drop(sp, d, DropCauseFilter, txDone)
+	case nw.params.DropRate > 0 && nw.eng.Rand().Float64() < nw.params.DropRate:
+		return nw.drop(sp, d, DropCauseRate, txDone)
+	}
+	if f.Corrupt {
+		d.Corrupted = true
+		nw.Corrupted++
+	}
+	copies := 1
+	if f.Duplicates > 0 {
+		copies += f.Duplicates
+		d.Shared = true
+		nw.Duplicated += uint64(f.Duplicates)
 	}
 
 	// Store-and-forward: the switch begins forwarding after the whole
-	// packet has arrived, and the destination link serializes it again.
-	atSwitch := txDone.Add(nw.params.LinkLatency).Add(nw.params.SwitchLatency)
-	rxDone := dp.down.OccupyFrom(atSwitch, ser)
-	deliverAt := rxDone.Add(nw.params.LinkLatency)
-	nw.SerTime += ser
-	nw.PropTime += 2*nw.params.LinkLatency + nw.params.SwitchLatency
+	// packet has arrived (plus any injected delay), and the destination
+	// link serializes it again. Duplicate copies queue behind the
+	// original on the destination link.
+	atSwitch := txDone.Add(nw.params.LinkLatency).Add(nw.params.SwitchLatency).Add(f.Delay)
+	for c := 0; c < copies; c++ {
+		dc := d
+		if c > 0 {
+			dc = nw.getDelivery()
+			*dc = *d
+		}
+		rxDone := dp.down.OccupyFrom(atSwitch, ser)
+		deliverAt := rxDone.Add(nw.params.LinkLatency)
+		nw.SerTime += ser
+		nw.PropTime += 2*nw.params.LinkLatency + nw.params.SwitchLatency
+		nw.eng.At(deliverAt, func() {
+			nw.Delivered++
+			dp.rxPkts++
+			dp.rxBytes += uint64(dc.Size)
+			dp.in.Push(dc)
+		})
+	}
+	return txDone
+}
 
-	nw.eng.At(deliverAt, func() {
-		nw.Delivered++
-		dp.rxPkts++
-		dp.rxBytes += uint64(d.Size)
-		dp.in.Push(d)
-	})
+// drop records a dropped packet under its cause and recycles the delivery.
+func (nw *Network) drop(sp *port, d *Delivery, cause DropCause, txDone sim.Time) sim.Time {
+	nw.Dropped++
+	nw.droppedBy[cause]++
+	sp.drops[cause]++
+	nw.Recycle(d)
 	return txDone
 }

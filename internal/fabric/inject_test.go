@@ -1,0 +1,207 @@
+package fabric
+
+import (
+	"testing"
+
+	"vibe/internal/sim"
+)
+
+// fnInjector adapts a function to the PacketInjector interface.
+type fnInjector func(index uint64, now sim.Time, d *Delivery) PacketFault
+
+func (f fnInjector) InjectPacket(index uint64, now sim.Time, d *Delivery) PacketFault {
+	return f(index, now, d)
+}
+
+func TestDropCauseAccounting(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := New(e, 3, testParams())
+	nw.AddInjector(fnInjector(func(index uint64, _ sim.Time, _ *Delivery) PacketFault {
+		return PacketFault{Drop: index == 0}
+	}))
+	nw.SetDropFilter(func(index uint64, d Delivery) bool { return index == 1 })
+	e.At(0, func() {
+		nw.Send(0, 2, 100, "by-fault")
+		nw.Send(1, 2, 100, "by-filter")
+		nw.Send(0, 2, 100, "through")
+	})
+	e.MustRun()
+	if nw.Dropped != 2 || nw.Delivered != 1 {
+		t.Fatalf("dropped=%d delivered=%d", nw.Dropped, nw.Delivered)
+	}
+	if nw.DroppedBy(DropCauseFault) != 1 || nw.DroppedBy(DropCauseFilter) != 1 || nw.DroppedBy(DropCauseRate) != 0 {
+		t.Fatalf("per-cause drops: fault=%d filter=%d rate=%d",
+			nw.DroppedBy(DropCauseFault), nw.DroppedBy(DropCauseFilter), nw.DroppedBy(DropCauseRate))
+	}
+	// Drops are attributed to the transmitting link.
+	s0, s1 := nw.LinkStats(0), nw.LinkStats(1)
+	if s0.DroppedFault != 1 || s0.DroppedFilter != 0 || s0.Dropped != 1 {
+		t.Fatalf("link 0 stats: %+v", s0)
+	}
+	if s1.DroppedFilter != 1 || s1.Dropped != 1 {
+		t.Fatalf("link 1 stats: %+v", s1)
+	}
+	if s := nw.LinkStats(2); s.Dropped != 0 {
+		t.Fatalf("receiving link charged with drops: %+v", s)
+	}
+}
+
+// Satellite check for the drop-accounting split: a drop filter and a
+// probabilistic DropRate compose — the filter runs first and claims its
+// packets, the rate coin only sees the survivors, and the split counters
+// sum to the total.
+func TestDropFilterDropRateInteraction(t *testing.T) {
+	e := sim.NewEngine(7)
+	p := testParams()
+	p.DropRate = 1.0 // every packet surviving the filter is rate-dropped
+	nw := New(e, 2, p)
+	nw.SetDropFilter(func(index uint64, d Delivery) bool { return index%2 == 0 })
+	const n = 100
+	e.At(0, func() {
+		for i := 0; i < n; i++ {
+			nw.Send(0, 1, 10, i)
+		}
+	})
+	e.MustRun()
+	if nw.DroppedBy(DropCauseFilter) != n/2 || nw.DroppedBy(DropCauseRate) != n/2 {
+		t.Fatalf("filter=%d rate=%d, want %d each",
+			nw.DroppedBy(DropCauseFilter), nw.DroppedBy(DropCauseRate), n/2)
+	}
+	if nw.Dropped != n || nw.Delivered != 0 {
+		t.Fatalf("dropped=%d delivered=%d", nw.Dropped, nw.Delivered)
+	}
+	s := nw.LinkStats(0)
+	if s.Dropped != s.DroppedFault+s.DroppedFilter+s.DroppedRate {
+		t.Fatalf("link split does not sum: %+v", s)
+	}
+}
+
+// An injector drop must not consume the DropRate coin, and it claims the
+// packet before the filter sees it.
+func TestInjectorDropWinsOverFilter(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := New(e, 2, testParams())
+	nw.AddInjector(fnInjector(func(index uint64, _ sim.Time, _ *Delivery) PacketFault {
+		return PacketFault{Drop: true}
+	}))
+	filterCalls := 0
+	nw.SetDropFilter(func(index uint64, d Delivery) bool { filterCalls++; return true })
+	e.At(0, func() { nw.Send(0, 1, 10, nil) })
+	e.MustRun()
+	if nw.DroppedBy(DropCauseFault) != 1 || nw.DroppedBy(DropCauseFilter) != 0 {
+		t.Fatalf("fault=%d filter=%d", nw.DroppedBy(DropCauseFault), nw.DroppedBy(DropCauseFilter))
+	}
+	if filterCalls != 0 {
+		t.Fatalf("drop filter ran %d times on fault-dropped packets", filterCalls)
+	}
+}
+
+func TestInjectedCorruptionDeliversMarked(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := New(e, 2, testParams())
+	nw.AddInjector(fnInjector(func(index uint64, _ sim.Time, _ *Delivery) PacketFault {
+		return PacketFault{Corrupt: index == 0}
+	}))
+	var got []*Delivery
+	e.At(0, func() {
+		nw.Send(0, 1, 100, "bad")
+		nw.Send(0, 1, 100, "good")
+	})
+	e.Spawn("rx", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			got = append(got, nw.Inbox(1).Pop(p).(*Delivery))
+		}
+	})
+	e.MustRun()
+	if !got[0].Corrupted || got[1].Corrupted {
+		t.Fatalf("corruption flags: %v %v", got[0].Corrupted, got[1].Corrupted)
+	}
+	// Corrupt frames still cost wire time and count as delivered: the
+	// receiving NIC is what discards them.
+	if nw.Corrupted != 1 || nw.Delivered != 2 || nw.Dropped != 0 {
+		t.Fatalf("corrupted=%d delivered=%d dropped=%d", nw.Corrupted, nw.Delivered, nw.Dropped)
+	}
+}
+
+func TestInjectedDuplicationSharesPayload(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := New(e, 2, testParams())
+	nw.AddInjector(fnInjector(func(index uint64, _ sim.Time, _ *Delivery) PacketFault {
+		return PacketFault{Duplicates: 1}
+	}))
+	var got []*Delivery
+	e.At(0, func() { nw.Send(0, 1, 100, "twice") })
+	e.Spawn("rx", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			got = append(got, nw.Inbox(1).Pop(p).(*Delivery))
+		}
+	})
+	e.MustRun()
+	if len(got) != 2 {
+		t.Fatalf("got %d deliveries", len(got))
+	}
+	for i, d := range got {
+		if d.Payload.(string) != "twice" {
+			t.Fatalf("copy %d payload %v", i, d.Payload)
+		}
+		if !d.Shared {
+			t.Fatalf("copy %d not marked Shared", i)
+		}
+	}
+	if nw.Duplicated != 1 || nw.Delivered != 2 || nw.Sent != 1 {
+		t.Fatalf("duplicated=%d delivered=%d sent=%d", nw.Duplicated, nw.Delivered, nw.Sent)
+	}
+}
+
+func TestInjectedDelayPostponesArrival(t *testing.T) {
+	run := func(delay sim.Duration) sim.Time {
+		e := sim.NewEngine(1)
+		nw := New(e, 2, testParams())
+		if delay > 0 {
+			nw.AddInjector(fnInjector(func(uint64, sim.Time, *Delivery) PacketFault {
+				return PacketFault{Delay: delay}
+			}))
+		}
+		var arrival sim.Time
+		e.At(0, func() { nw.Send(0, 1, 1000, nil) })
+		e.Spawn("rx", func(p *sim.Proc) {
+			nw.Inbox(1).Pop(p)
+			arrival = p.Now()
+		})
+		e.MustRun()
+		return arrival
+	}
+	base := run(0)
+	delayed := run(3 * sim.Microsecond)
+	if want := base.Add(3 * sim.Microsecond); delayed != want {
+		t.Fatalf("delayed arrival = %v, want %v (base %v)", delayed, want, base)
+	}
+}
+
+// Verdicts from a chain of injectors combine: drops win, delays add.
+func TestInjectorChainMergesVerdicts(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := New(e, 2, testParams())
+	nw.AddInjector(fnInjector(func(uint64, sim.Time, *Delivery) PacketFault {
+		return PacketFault{Delay: sim.Microsecond}
+	}))
+	nw.AddInjector(fnInjector(func(uint64, sim.Time, *Delivery) PacketFault {
+		return PacketFault{Delay: 2 * sim.Microsecond, Corrupt: true}
+	}))
+	var got *Delivery
+	var arrival sim.Time
+	e.At(0, func() { nw.Send(0, 1, 1000, nil) })
+	e.Spawn("rx", func(p *sim.Proc) {
+		got = nw.Inbox(1).Pop(p).(*Delivery)
+		arrival = p.Now()
+	})
+	e.MustRun()
+	if !got.Corrupted {
+		t.Fatal("corruption verdict lost in merge")
+	}
+	// 18500ns base end-to-end time for 1000B (see TestEndToEndDeliveryTime)
+	// plus the two added delays.
+	if want := sim.Time(18500).Add(3 * sim.Microsecond); arrival != want {
+		t.Fatalf("arrival = %v, want %v", arrival, want)
+	}
+}

@@ -1,0 +1,398 @@
+// Package fault implements deterministic, virtual-time fault injection
+// for the simulated cluster. A Plan is a typed list of fault specs —
+// targeted packet drops, corruption, duplication, reorder delays, jitter,
+// time-windowed link outages, and NIC doorbell/DMA stalls — loaded from
+// scenario JSON and compiled into an Injector that hooks the fabric's
+// packet path and the NIC models' command/DMA paths.
+//
+// Everything is driven by virtual time and a plan-local seeded RNG, so a
+// fault plan replays identically run after run: the same packets drop,
+// the same frames corrupt, the same stalls hit. An empty plan injects
+// nothing and leaves every simulation byte-identical to an uninstrumented
+// run.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"vibe/internal/fabric"
+	"vibe/internal/provider"
+	"vibe/internal/sim"
+)
+
+// Fault kinds. Packet kinds act in the fabric's send path; stall kinds
+// act in the NIC models.
+const (
+	KindDropNth   = "drop-nth"   // drop the packet with sequence number Nth
+	KindDropRange = "drop-range" // drop packets with From <= seq <= To
+	KindDrop      = "drop"       // drop each matching packet with probability Prob
+	KindCorrupt   = "corrupt"    // mark matching packets corrupt (receiver CRC-drops them)
+	KindDuplicate = "duplicate"  // deliver an extra copy of matching packets
+	KindDelay     = "delay"      // hold matching packets at the switch for Delay (reorder)
+	KindJitter    = "jitter"     // hold matching packets for uniform [0, Delay)
+	KindLinkDown  = "link-down"  // drop everything touching Port during [Start, End)
+
+	KindDoorbellStall = "doorbell-stall" // stall the NIC's doorbell/command engine by Delay
+	KindDMAStall      = "dma-stall"      // stall each NIC DMA transfer by Delay
+)
+
+// packetKinds and stallKinds partition the kind namespace.
+var packetKinds = map[string]bool{
+	KindDropNth: true, KindDropRange: true, KindDrop: true,
+	KindCorrupt: true, KindDuplicate: true, KindDelay: true,
+	KindJitter: true, KindLinkDown: true,
+}
+
+var stallKinds = map[string]bool{
+	KindDoorbellStall: true, KindDMAStall: true,
+}
+
+// Kinds lists every fault kind, packet kinds first — the canonical order
+// for sweeps and reports.
+func Kinds() []string {
+	return []string{
+		KindDropNth, KindDropRange, KindDrop, KindCorrupt, KindDuplicate,
+		KindDelay, KindJitter, KindLinkDown, KindDoorbellStall, KindDMAStall,
+	}
+}
+
+// Spec is one fault in a plan, the JSON schema of a plan file entry.
+// Zero-valued selectors leave their dimension unconstrained: a spec with
+// no Port matches every node, one with no Start/End is active for the
+// whole run, one with Prob 0 on a probabilistic kind fires always.
+type Spec struct {
+	// Kind selects the fault type (see the Kind constants).
+	Kind string `json:"kind"`
+
+	// Port restricts the fault to one node: for packet kinds the
+	// transmitting node (link-down also matches the receiving side), for
+	// stall kinds the NIC. Nil matches every node.
+	Port *int `json:"port,omitempty"`
+
+	// Nth (drop-nth) and From/To (drop-range) select packets by the
+	// fabric's global sequence number.
+	Nth  *uint64 `json:"nth,omitempty"`
+	From *uint64 `json:"from,omitempty"`
+	To   *uint64 `json:"to,omitempty"`
+
+	// Count caps how many times the fault fires; 0 means unlimited.
+	Count uint64 `json:"count,omitempty"`
+
+	// Prob is the per-event firing probability for probabilistic kinds
+	// (drop, corrupt, duplicate, delay, jitter, stalls); 0 means 1.0.
+	Prob float64 `json:"prob,omitempty"`
+
+	// Delay is the injected latency for delay/jitter/stall kinds
+	// (provider duration syntax: "150us", "2ms"; bare numbers are µs).
+	Delay string `json:"delay,omitempty"`
+
+	// Start and End bound the virtual-time window the fault is active in
+	// ([Start, End), offsets from simulation start). Empty means
+	// unbounded on that side.
+	Start string `json:"start,omitempty"`
+	End   string `json:"end,omitempty"`
+}
+
+// Plan is a reproducible fault schedule: a seed for the plan's private
+// RNG plus the fault specs. The zero value (and a plan with no specs) is
+// inert.
+type Plan struct {
+	Seed   int64  `json:"seed,omitempty"`
+	Faults []Spec `json:"faults,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Faults) == 0 }
+
+// Validate checks every spec against the schema: known kind, selectors
+// that make sense for it, parseable durations.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Faults {
+		if _, err := compileSpec(&p.Faults[i]); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Load reads and validates a plan file:
+//
+//	{"seed": 7, "faults": [{"kind": "drop-nth", "nth": 40}, ...]}
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Parse decodes and validates a JSON plan.
+func Parse(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("fault: plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("fault: plan: %w", err)
+	}
+	return &p, nil
+}
+
+// cspec is a compiled spec: durations parsed, selectors normalized, plus
+// the per-run application counter.
+type cspec struct {
+	kind     string
+	port     int // -1: any node
+	hasNth   bool
+	nth      uint64
+	hasRange bool
+	from, to uint64
+	count    uint64 // 0: unlimited
+	prob     float64
+	delay    sim.Duration
+	start    sim.Time
+	end      sim.Time // 0: unbounded
+
+	applied uint64
+}
+
+// compileSpec validates and lowers one spec.
+func compileSpec(s *Spec) (*cspec, error) {
+	c := &cspec{kind: s.Kind, port: -1, count: s.Count, prob: s.Prob}
+	if !packetKinds[s.Kind] && !stallKinds[s.Kind] {
+		return nil, fmt.Errorf("unknown kind %q", s.Kind)
+	}
+	if s.Port != nil {
+		if *s.Port < 0 {
+			return nil, fmt.Errorf("%s: negative port %d", s.Kind, *s.Port)
+		}
+		c.port = *s.Port
+	}
+	if s.Prob < 0 || s.Prob > 1 {
+		return nil, fmt.Errorf("%s: prob %v outside [0, 1]", s.Kind, s.Prob)
+	}
+	if s.Nth != nil {
+		if s.Kind != KindDropNth {
+			return nil, fmt.Errorf("%s: nth applies only to %s", s.Kind, KindDropNth)
+		}
+		c.hasNth, c.nth = true, *s.Nth
+	}
+	if (s.From != nil) != (s.To != nil) {
+		return nil, fmt.Errorf("%s: from and to must be set together", s.Kind)
+	}
+	if s.From != nil {
+		if s.Kind != KindDropRange {
+			return nil, fmt.Errorf("%s: from/to apply only to %s", s.Kind, KindDropRange)
+		}
+		if *s.From > *s.To {
+			return nil, fmt.Errorf("%s: from %d > to %d", s.Kind, *s.From, *s.To)
+		}
+		c.hasRange, c.from, c.to = true, *s.From, *s.To
+	}
+	switch s.Kind {
+	case KindDropNth:
+		if !c.hasNth {
+			return nil, fmt.Errorf("%s: nth is required", s.Kind)
+		}
+	case KindDropRange:
+		if !c.hasRange {
+			return nil, fmt.Errorf("%s: from/to are required", s.Kind)
+		}
+	}
+	needsDelay := s.Kind == KindDelay || s.Kind == KindJitter || stallKinds[s.Kind]
+	if s.Delay != "" {
+		if !needsDelay {
+			return nil, fmt.Errorf("%s: delay does not apply", s.Kind)
+		}
+		d, err := provider.ParseDuration(s.Delay)
+		if err != nil {
+			return nil, fmt.Errorf("%s: delay: %w", s.Kind, err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("%s: delay must be positive", s.Kind)
+		}
+		c.delay = d
+	} else if needsDelay {
+		return nil, fmt.Errorf("%s: delay is required", s.Kind)
+	}
+	if s.Start != "" {
+		d, err := provider.ParseDuration(s.Start)
+		if err != nil {
+			return nil, fmt.Errorf("%s: start: %w", s.Kind, err)
+		}
+		c.start = sim.Time(0).Add(d)
+	}
+	if s.End != "" {
+		d, err := provider.ParseDuration(s.End)
+		if err != nil {
+			return nil, fmt.Errorf("%s: end: %w", s.Kind, err)
+		}
+		c.end = sim.Time(0).Add(d)
+		if c.end <= c.start {
+			return nil, fmt.Errorf("%s: end %s not after start %s", s.Kind, s.End, s.Start)
+		}
+	}
+	return c, nil
+}
+
+// active reports whether the spec fires at time now, given its window and
+// application cap.
+func (c *cspec) active(now sim.Time) bool {
+	if c.count > 0 && c.applied >= c.count {
+		return false
+	}
+	if now < c.start {
+		return false
+	}
+	if c.end > 0 && now >= c.end {
+		return false
+	}
+	return true
+}
+
+// Site identifies a NIC-model fault hook.
+type Site int
+
+const (
+	// SiteDoorbell: the NIC's command/doorbell processing path.
+	SiteDoorbell Site = iota
+	// SiteDMA: every NIC-initiated DMA transfer.
+	SiteDMA
+)
+
+// Injector is one simulation's compiled fault plan. It implements
+// fabric.PacketInjector and exposes the NIC stall hook; all state
+// (per-spec application counts, the plan RNG) is injector-local, so every
+// simulated system compiles its own injector and replays identically.
+//
+// Injectors are engine-local and not safe for concurrent use — exactly
+// like the rest of a simulation's state.
+type Injector struct {
+	rng    *rand.Rand
+	packet []*cspec
+	stall  []*cspec
+	counts map[string]uint64
+}
+
+// NewInjector compiles the plan into a fresh injector. The plan must have
+// been validated (Load, Parse and Validate all do); compiling an invalid
+// plan panics.
+func (p *Plan) NewInjector() *Injector {
+	var seed int64
+	if p != nil {
+		seed = p.Seed
+	}
+	inj := &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[string]uint64),
+	}
+	if p != nil {
+		for i := range p.Faults {
+			c, err := compileSpec(&p.Faults[i])
+			if err != nil {
+				panic(fmt.Sprintf("fault: NewInjector on unvalidated plan: %v", err))
+			}
+			if packetKinds[c.kind] {
+				inj.packet = append(inj.packet, c)
+			} else {
+				inj.stall = append(inj.stall, c)
+			}
+		}
+	}
+	return inj
+}
+
+// fire decides whether a probabilistic spec triggers and records the
+// application. Specs with Prob 0 always fire.
+func (inj *Injector) fire(c *cspec) bool {
+	if c.prob > 0 && inj.rng.Float64() >= c.prob {
+		return false
+	}
+	c.applied++
+	inj.counts[c.kind]++
+	return true
+}
+
+// InjectPacket implements fabric.PacketInjector: it folds every matching
+// packet spec into one verdict.
+func (inj *Injector) InjectPacket(index uint64, now sim.Time, d *fabric.Delivery) fabric.PacketFault {
+	var f fabric.PacketFault
+	for _, c := range inj.packet {
+		if !c.active(now) {
+			continue
+		}
+		switch {
+		case c.kind == KindLinkDown:
+			// Outages sever the link in both directions.
+			if c.port >= 0 && c.port != int(d.Src) && c.port != int(d.Dst) {
+				continue
+			}
+		case c.port >= 0 && c.port != int(d.Src):
+			continue
+		}
+		if c.hasNth && index != c.nth {
+			continue
+		}
+		if c.hasRange && (index < c.from || index > c.to) {
+			continue
+		}
+		switch c.kind {
+		case KindDropNth, KindDropRange, KindDrop, KindLinkDown:
+			if inj.fire(c) {
+				f.Drop = true
+			}
+		case KindCorrupt:
+			if inj.fire(c) {
+				f.Corrupt = true
+			}
+		case KindDuplicate:
+			if inj.fire(c) {
+				f.Duplicates++
+			}
+		case KindDelay:
+			if inj.fire(c) {
+				f.Delay += c.delay
+			}
+		case KindJitter:
+			if inj.fire(c) {
+				f.Delay += sim.Duration(inj.rng.Int63n(int64(c.delay)))
+			}
+		}
+	}
+	return f
+}
+
+// Stall reports how long the NIC on node should stall at the given site,
+// folding every matching stall spec. Zero means no fault.
+func (inj *Injector) Stall(site Site, node int, now sim.Time) sim.Duration {
+	var total sim.Duration
+	for _, c := range inj.stall {
+		if !c.active(now) {
+			continue
+		}
+		if c.port >= 0 && c.port != node {
+			continue
+		}
+		switch {
+		case site == SiteDoorbell && c.kind == KindDoorbellStall,
+			site == SiteDMA && c.kind == KindDMAStall:
+			if inj.fire(c) {
+				total += c.delay
+			}
+		}
+	}
+	return total
+}
+
+// HasStalls reports whether any stall spec exists, so NIC hot paths can
+// skip the hook entirely for packet-only plans.
+func (inj *Injector) HasStalls() bool { return len(inj.stall) > 0 }
+
+// Counts returns how often each fault kind fired, for metrics.
+func (inj *Injector) Counts() map[string]uint64 { return inj.counts }

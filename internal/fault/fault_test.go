@@ -1,0 +1,263 @@
+package fault
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vibe/internal/fabric"
+	"vibe/internal/sim"
+)
+
+func u64(v uint64) *uint64 { return &v }
+func pint(v int) *int      { return &v }
+
+func mustInjector(t *testing.T, p *Plan) *Injector {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return p.NewInjector()
+}
+
+func TestPlanValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"unknown kind", Spec{Kind: "melt"}, "unknown kind"},
+		{"bad prob", Spec{Kind: KindDrop, Prob: 1.5}, "outside [0, 1]"},
+		{"negative port", Spec{Kind: KindDrop, Port: pint(-1)}, "negative port"},
+		{"nth on wrong kind", Spec{Kind: KindDrop, Nth: u64(3)}, "nth applies only"},
+		{"nth missing", Spec{Kind: KindDropNth}, "nth is required"},
+		{"from without to", Spec{Kind: KindDropRange, From: u64(1)}, "set together"},
+		{"range on wrong kind", Spec{Kind: KindDrop, From: u64(1), To: u64(2)}, "apply only"},
+		{"inverted range", Spec{Kind: KindDropRange, From: u64(5), To: u64(2)}, "from 5 > to 2"},
+		{"range missing", Spec{Kind: KindDropRange}, "from/to are required"},
+		{"delay on drop", Spec{Kind: KindDrop, Delay: "10us"}, "delay does not apply"},
+		{"delay missing", Spec{Kind: KindDelay}, "delay is required"},
+		{"delay unparseable", Spec{Kind: KindDelay, Delay: "fast"}, "delay"},
+		{"delay negative", Spec{Kind: KindDelay, Delay: "-3us"}, "must be positive"},
+		{"bad start", Spec{Kind: KindDrop, Start: "soon"}, "start"},
+		{"end before start", Spec{Kind: KindLinkDown, Start: "5ms", End: "2ms"}, "not after start"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &Plan{Faults: []Spec{tc.spec}}
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Fatalf("nil plan: %v", err)
+	}
+	if !nilPlan.Empty() {
+		t.Fatal("nil plan not Empty")
+	}
+	if (&Plan{Seed: 3}).Empty() == false {
+		t.Fatal("spec-less plan not Empty")
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	if _, err := Parse([]byte(`{"faults": [{"kind": "nope"}]}`)); err == nil {
+		t.Fatal("Parse accepted unknown kind")
+	}
+	p, err := Parse([]byte(`{"seed": 7, "faults": [{"kind": "drop-nth", "nth": 40}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Faults) != 1 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func delivery(src, dst fabric.NodeID) *fabric.Delivery {
+	return &fabric.Delivery{Src: src, Dst: dst}
+}
+
+func TestDropNthAndRange(t *testing.T) {
+	inj := mustInjector(t, &Plan{Faults: []Spec{
+		{Kind: KindDropNth, Nth: u64(3)},
+		{Kind: KindDropRange, From: u64(10), To: u64(12)},
+	}})
+	var dropped []uint64
+	for i := uint64(0); i < 20; i++ {
+		if inj.InjectPacket(i, 0, delivery(0, 1)).Drop {
+			dropped = append(dropped, i)
+		}
+	}
+	want := []uint64{3, 10, 11, 12}
+	if len(dropped) != len(want) {
+		t.Fatalf("dropped %v, want %v", dropped, want)
+	}
+	for i := range want {
+		if dropped[i] != want[i] {
+			t.Fatalf("dropped %v, want %v", dropped, want)
+		}
+	}
+	if inj.Counts()[KindDropNth] != 1 || inj.Counts()[KindDropRange] != 3 {
+		t.Fatalf("counts %v", inj.Counts())
+	}
+}
+
+func TestPortSelectorAndLinkDownBidirectional(t *testing.T) {
+	inj := mustInjector(t, &Plan{Faults: []Spec{
+		{Kind: KindDrop, Port: pint(0)},
+	}})
+	if !inj.InjectPacket(0, 0, delivery(0, 1)).Drop {
+		t.Fatal("drop spec on port 0 ignored a packet sent by node 0")
+	}
+	if inj.InjectPacket(1, 0, delivery(1, 0)).Drop {
+		t.Fatal("drop spec on port 0 hit a packet sent by node 1")
+	}
+
+	down := mustInjector(t, &Plan{Faults: []Spec{
+		{Kind: KindLinkDown, Port: pint(0)},
+	}})
+	if !down.InjectPacket(0, 0, delivery(0, 1)).Drop {
+		t.Fatal("link-down missed the outbound direction")
+	}
+	if !down.InjectPacket(1, 0, delivery(1, 0)).Drop {
+		t.Fatal("link-down missed the inbound direction")
+	}
+	if down.InjectPacket(2, 0, delivery(1, 2)).Drop {
+		t.Fatal("link-down hit a packet not touching port 0")
+	}
+}
+
+func TestTimeWindowAndCountCap(t *testing.T) {
+	inj := mustInjector(t, &Plan{Faults: []Spec{
+		{Kind: KindLinkDown, Start: "1ms", End: "2ms"},
+	}})
+	ms := sim.Time(0).Add(sim.Millisecond)
+	if inj.InjectPacket(0, ms-1, delivery(0, 1)).Drop {
+		t.Fatal("fired before the window")
+	}
+	if !inj.InjectPacket(1, ms, delivery(0, 1)).Drop {
+		t.Fatal("window start is inclusive")
+	}
+	if inj.InjectPacket(2, ms.Add(sim.Millisecond), delivery(0, 1)).Drop {
+		t.Fatal("window end is exclusive")
+	}
+
+	capped := mustInjector(t, &Plan{Faults: []Spec{
+		{Kind: KindDrop, Count: 2},
+	}})
+	drops := 0
+	for i := uint64(0); i < 10; i++ {
+		if capped.InjectPacket(i, 0, delivery(0, 1)).Drop {
+			drops++
+		}
+	}
+	if drops != 2 {
+		t.Fatalf("count-capped spec fired %d times, want 2", drops)
+	}
+}
+
+func TestVerdictFolding(t *testing.T) {
+	inj := mustInjector(t, &Plan{Faults: []Spec{
+		{Kind: KindCorrupt},
+		{Kind: KindDuplicate},
+		{Kind: KindDuplicate},
+		{Kind: KindDelay, Delay: "10us"},
+		{Kind: KindDelay, Delay: "5us"},
+	}})
+	f := inj.InjectPacket(0, 0, delivery(0, 1))
+	if !f.Corrupt || f.Drop {
+		t.Fatalf("verdict %+v", f)
+	}
+	if f.Duplicates != 2 {
+		t.Fatalf("duplicates %d, want 2", f.Duplicates)
+	}
+	if f.Delay != 15*sim.Microsecond {
+		t.Fatalf("delay %v, want 15us", f.Delay)
+	}
+}
+
+func TestStallSitesAndHasStalls(t *testing.T) {
+	inj := mustInjector(t, &Plan{Faults: []Spec{
+		{Kind: KindDoorbellStall, Delay: "30us", Port: pint(1)},
+		{Kind: KindDMAStall, Delay: "20us"},
+	}})
+	if !inj.HasStalls() {
+		t.Fatal("HasStalls false with stall specs")
+	}
+	if d := inj.Stall(SiteDoorbell, 1, 0); d != 30*sim.Microsecond {
+		t.Fatalf("doorbell stall on node 1 = %v", d)
+	}
+	if d := inj.Stall(SiteDoorbell, 0, 0); d != 0 {
+		t.Fatalf("doorbell stall leaked to node 0: %v", d)
+	}
+	if d := inj.Stall(SiteDMA, 0, 0); d != 20*sim.Microsecond {
+		t.Fatalf("dma stall = %v", d)
+	}
+
+	packetOnly := mustInjector(t, &Plan{Faults: []Spec{{Kind: KindDrop}}})
+	if packetOnly.HasStalls() {
+		t.Fatal("HasStalls true for packet-only plan")
+	}
+}
+
+// Probabilistic specs must replay identically for a given plan seed and
+// differ across seeds.
+func TestProbabilisticDeterminism(t *testing.T) {
+	run := func(seed int64) []uint64 {
+		inj := mustInjector(t, &Plan{Seed: seed, Faults: []Spec{
+			{Kind: KindDrop, Prob: 0.3},
+		}})
+		var dropped []uint64
+		for i := uint64(0); i < 200; i++ {
+			if inj.InjectPacket(i, 0, delivery(0, 1)).Drop {
+				dropped = append(dropped, i)
+			}
+		}
+		return dropped
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("degenerate drop pattern: %d of 200", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical drop patterns")
+	}
+}
+
+func TestRandomPlanSeededAndValid(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		p := RandomPlan(seed)
+		if p.Empty() {
+			t.Fatalf("seed %d: empty plan", seed)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	aj, _ := json.Marshal(RandomPlan(7))
+	bj, _ := json.Marshal(RandomPlan(7))
+	if string(aj) != string(bj) {
+		t.Fatalf("RandomPlan(7) not deterministic:\n%s\n%s", aj, bj)
+	}
+}

@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomPlan generates a reproducible random fault plan for chaos
+// testing: the same seed always yields the same plan, and the plan's own
+// injector seed is derived from it, so a chaos run is fully replayable
+// from one integer. Parameters are bounded so a random plan is hostile
+// but survivable — probabilistic faults stay below saturation and delays
+// stay within a few retransmission timeouts.
+func RandomPlan(seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := Kinds()
+	n := 1 + rng.Intn(4)
+	p := &Plan{Seed: seed}
+	for i := 0; i < n; i++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		s := Spec{Kind: kind}
+		if rng.Intn(2) == 0 {
+			port := rng.Intn(2) // chaos workloads run two-node systems
+			s.Port = &port
+		}
+		switch kind {
+		case KindDropNth:
+			nth := uint64(rng.Intn(400))
+			s.Nth = &nth
+		case KindDropRange:
+			from := uint64(rng.Intn(300))
+			to := from + uint64(rng.Intn(20))
+			s.From, s.To = &from, &to
+		case KindDrop:
+			s.Prob = 0.01 + 0.15*rng.Float64()
+		case KindCorrupt, KindDuplicate:
+			s.Prob = 0.02 + 0.2*rng.Float64()
+		case KindDelay, KindJitter:
+			s.Prob = 0.05 + 0.25*rng.Float64()
+			s.Delay = fmt.Sprintf("%dus", 20+rng.Intn(480))
+		case KindLinkDown:
+			start := 1 + rng.Intn(20)
+			s.Start = fmt.Sprintf("%dms", start)
+			s.End = fmt.Sprintf("%dms", start+1+rng.Intn(3))
+		case KindDoorbellStall, KindDMAStall:
+			s.Prob = 0.02 + 0.2*rng.Float64()
+			s.Delay = fmt.Sprintf("%dus", 5+rng.Intn(195))
+		}
+		// Cap repeatable faults so a plan cannot starve the run forever.
+		if s.Nth == nil && s.From == nil && kind != KindLinkDown {
+			s.Count = uint64(50 + rng.Intn(450))
+		}
+		p.Faults = append(p.Faults, s)
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("fault: RandomPlan built an invalid plan: %v", err))
+	}
+	return p
+}

@@ -1,0 +1,132 @@
+package nicsim
+
+import (
+	"testing"
+
+	"vibe/internal/sim"
+)
+
+func TestRTOLegacyBackoffLadder(t *testing.T) {
+	var r RTO
+	base := sim.Millisecond
+	r.Init(base, 6, false)
+	if r.Timeout() != base {
+		t.Fatalf("Timeout = %v, want %v", r.Timeout(), base)
+	}
+
+	// Consecutive timeouts of the same stuck sequence escalate 1, 2, 4,
+	// ... up to the cap; the first interval is not a backoff.
+	want := []sim.Duration{
+		base, 2 * base, 4 * base, 8 * base, 16 * base, 32 * base,
+	}
+	for i, w := range want {
+		if giveUp := r.Stalled(7); giveUp != (i >= 6) {
+			t.Fatalf("stall %d: giveUp = %v", i+1, giveUp)
+		}
+		if d := r.Backoff(); d != w {
+			t.Fatalf("stall %d: Backoff = %v, want %v", i+1, d, w)
+		}
+	}
+	if r.Backoffs != uint64(len(want)-1) {
+		t.Fatalf("Backoffs = %d, want %d", r.Backoffs, len(want)-1)
+	}
+
+	// The seventh consecutive stall crosses MaxStalls=6, and the interval
+	// stays capped at Base << rtoBackoffCap.
+	if !r.Stalled(7) {
+		t.Fatal("stall 7 should give up with MaxStalls=6")
+	}
+	if d, max := r.Backoff(), base<<rtoBackoffCap; d != max {
+		t.Fatalf("capped Backoff = %v, want %v", d, max)
+	}
+}
+
+func TestRTOProgressResetsStalls(t *testing.T) {
+	var r RTO
+	r.Init(sim.Millisecond, 3, false)
+	for i := 0; i < 3; i++ {
+		if r.Stalled(10) {
+			t.Fatalf("gave up after %d stalls with MaxStalls=3", i+1)
+		}
+	}
+	// The oldest unacked sequence advanced: the window made progress, so
+	// the retry budget refills and backoff restarts from the base.
+	if r.Stalled(11) {
+		t.Fatal("gave up on first stall of a new sequence")
+	}
+	if d := r.Backoff(); d != sim.Millisecond {
+		t.Fatalf("Backoff after progress = %v, want base", d)
+	}
+}
+
+func TestRTOAdaptiveEstimator(t *testing.T) {
+	var r RTO
+	base := sim.Millisecond
+	r.Init(base, 6, true)
+
+	// Before any sample the adaptive policy falls back to the base.
+	if r.Timeout() != base {
+		t.Fatalf("unsampled Timeout = %v, want %v", r.Timeout(), base)
+	}
+
+	// First sample seeds SRTT = rtt, RTTVAR = rtt/2 -> rtt + 4*(rtt/2).
+	rtt := 100 * sim.Microsecond
+	r.Sample(rtt)
+	if want := rtt + 4*(rtt/2); r.Timeout() != want {
+		t.Fatalf("after first sample Timeout = %v, want %v", r.Timeout(), want)
+	}
+
+	// Steady identical samples shrink RTTVAR toward zero; with SRTT at
+	// 100us the timeout lands on the Base/4 floor.
+	for i := 0; i < 100; i++ {
+		r.Sample(rtt)
+	}
+	if d := r.Timeout(); d != base/4 {
+		t.Fatalf("converged Timeout = %v, want floor %v", d, base/4)
+	}
+
+	// A huge sample cannot push the timeout past the cap.
+	for i := 0; i < 50; i++ {
+		r.Sample(10 * sim.Second)
+	}
+	if d, max := r.Timeout(), base<<rtoBackoffCap; d != max {
+		t.Fatalf("Timeout after spike = %v, want cap %v", d, max)
+	}
+
+	// Negative samples (clock confusion) are ignored.
+	before := r.Timeout()
+	r.Sample(-sim.Millisecond)
+	if r.Timeout() != before {
+		t.Fatal("negative sample changed the estimator")
+	}
+}
+
+func TestRTOSampleIgnoredWhenLegacy(t *testing.T) {
+	var r RTO
+	r.Init(sim.Millisecond, 6, false)
+	r.Sample(5 * sim.Microsecond)
+	if r.Timeout() != sim.Millisecond {
+		t.Fatalf("legacy Timeout moved to %v after Sample", r.Timeout())
+	}
+}
+
+func TestRTOInitResets(t *testing.T) {
+	var r RTO
+	r.Init(sim.Millisecond, 2, true)
+	r.Sample(50 * sim.Microsecond)
+	r.Stalled(3)
+	r.Stalled(3)
+	r.Backoff()
+	r.Init(2*sim.Millisecond, 4, false)
+	if r.Timeout() != 2*sim.Millisecond || r.Backoffs != 0 {
+		t.Fatalf("Init did not reset: %v backoffs=%d", r.Timeout(), r.Backoffs)
+	}
+	// The sentinel makes the first post-Init timeout count as a fresh
+	// stall even for sequence 0... including the max sentinel value.
+	if r.Stalled(0) {
+		t.Fatal("first stall after Init gave up")
+	}
+	if d := r.Backoff(); d != 2*sim.Millisecond {
+		t.Fatalf("first Backoff after Init = %v", d)
+	}
+}

@@ -138,6 +138,12 @@ type Model struct {
 	RetransmitTimeout sim.Duration
 	MaxRetries        int
 
+	// AdaptiveRTO switches the reliable transport from the fixed
+	// RetransmitTimeout to the Jacobson/Karn RTT estimator (SRTT +
+	// 4·RTTVAR, clamped around RetransmitTimeout). Off in every built-in
+	// model: the paper-era interconnects used fixed firmware timeouts.
+	AdaptiveRTO bool
+
 	// --- VIA attributes ---
 
 	MaxTransferSize   int // largest message a single descriptor may move

@@ -325,6 +325,8 @@ func buildCatalog() []Param {
 			func(m *Model) *sim.Duration { return &m.RetransmitTimeout }),
 		intParam("MaxRetries", "count", "retransmission attempts before failure",
 			func(m *Model) *int { return &m.MaxRetries }),
+		boolParam("AdaptiveRTO", "adaptive (Jacobson/Karn) retransmission timeout",
+			func(m *Model) *bool { return &m.AdaptiveRTO }),
 
 		// VIA attributes.
 		intParam("MaxTransferSize", "bytes", "largest single-descriptor transfer",

@@ -110,7 +110,17 @@ func RunGrid(exps []*core.Experiment, scs []*core.Scenario, opt Options) [][]Res
 			}
 		}()
 	}
+	// The fail-fast check lives here, on the ordered dispatch path, not in
+	// the workers: indices are skipped in submission order, so a skipped
+	// cell's index is always greater than the failing cell's. A worker-side
+	// check could observe the failure flag out of order and skip a cell
+	// submitted before the one that failed.
 	for c := 0; c < cells; c++ {
+		si, ei := c/len(exps), c%len(exps)
+		if failed.Load() {
+			grid[si][ei] = Result{Index: ei, ID: exps[ei].ID, Scenario: scs[si].Label(), Err: errSkipped}
+			continue
+		}
 		idx <- c
 	}
 	close(idx)
@@ -120,10 +130,6 @@ func RunGrid(exps []*core.Experiment, scs []*core.Scenario, opt Options) [][]Res
 
 func runCell(i int, e *core.Experiment, sc *core.Scenario, failed *atomic.Bool) (res Result) {
 	res = Result{Index: i, ID: e.ID, Scenario: sc.Label()}
-	if failed.Load() {
-		res.Err = errSkipped
-		return res
-	}
 	start := time.Now()
 	defer func() {
 		res.Wall = time.Since(start)

@@ -3,6 +3,7 @@ package via
 import (
 	"vibe/internal/fabric"
 	"vibe/internal/nicsim"
+	"vibe/internal/provider"
 	"vibe/internal/sim"
 )
 
@@ -36,11 +37,11 @@ type connState struct {
 	outstandingReads map[uint64]*readState
 
 	rtoArmed bool
-	// rtoLastSeq / rtoStalls implement the give-up policy: the connection
-	// fails only after MaxRetries consecutive timeouts during which the
-	// oldest unacked sequence made no progress.
-	rtoLastSeq uint64
-	rtoStalls  int
+	// rto is the retransmission-timeout policy: backoff, the give-up
+	// threshold (the connection fails only after MaxRetries consecutive
+	// timeouts during which the oldest unacked sequence made no
+	// progress), and optionally the adaptive RTT estimator.
+	rto nicsim.RTO
 }
 
 // readState tracks one outstanding RDMA read at the initiator.
@@ -109,7 +110,7 @@ func (r *ConnRequest) Accept(ctx *Ctx, vi *Vi) error {
 	}
 	r.handled = true
 	ctx.use(n.model.ConnAcceptCost)
-	vi.conn = newConnState(r.clientNode, r.clientVi)
+	vi.conn = newConnState(n.model, r.clientNode, r.clientVi)
 	vi.state = ViConnected
 	n.sendCtl(&wirePacket{kind: pktConnAccept, srcVi: vi.id, dstVi: r.clientVi}, r.clientNode)
 	return nil
@@ -188,8 +189,10 @@ func (v *Vi) teardown(st ViState) {
 		n.winRetransmits += v.conn.window.Retransmits
 		n.recvDups += v.conn.recvSeq.Duplicates
 		n.recvGaps += v.conn.recvSeq.Gaps
+		n.rtoBackoffs += v.conn.rto.Backoffs
 		v.conn.window.Acked, v.conn.window.Retransmits = 0, 0
 		v.conn.recvSeq.Duplicates, v.conn.recvSeq.Gaps = 0, 0
+		v.conn.rto.Backoffs = 0
 		v.conn.window.Reset()
 		v.conn.reasm.Abort()
 		v.conn.rdmaReasm.Abort()
@@ -199,11 +202,12 @@ func (v *Vi) teardown(st ViState) {
 	v.state = st
 }
 
-func newConnState(peer fabric.NodeID, peerVi int) *connState {
-	return &connState{
+func newConnState(m *provider.Model, peer fabric.NodeID, peerVi int) *connState {
+	cs := &connState{
 		peerNode:         peer,
 		peerVi:           peerVi,
 		outstandingReads: make(map[uint64]*readState),
-		rtoLastSeq:       ^uint64(0), // sentinel: no timeout observed yet
 	}
+	cs.rto.Init(m.RetransmitTimeout, m.MaxRetries, m.AdaptiveRTO)
+	return cs
 }

@@ -2,6 +2,7 @@ package via
 
 import (
 	"vibe/internal/fabric"
+	"vibe/internal/fault"
 	"vibe/internal/nicsim"
 	"vibe/internal/provider"
 	"vibe/internal/sim"
@@ -26,6 +27,20 @@ func (n *Nic) send(pkt *wirePacket, dst fabric.NodeID) sim.Time {
 // sendCtl is send for connection-management packets (fire and forget).
 func (n *Nic) sendCtl(pkt *wirePacket, dst fabric.NodeID) {
 	n.send(pkt, dst)
+}
+
+// stallFault injects a fault-plan NIC stall at the given site: the
+// doorbell/command path or a DMA transfer. Inert (one nil check) when no
+// plan is installed.
+func (n *Nic) stallFault(p *sim.Proc, site fault.Site) {
+	inj := n.faults
+	if inj == nil {
+		return
+	}
+	if d := inj.Stall(site, int(n.host.id), p.Now()); d > 0 {
+		n.FaultStallTime += d
+		p.Sleep(d)
+	}
 }
 
 // xlateCost is the NIC-side translation cost for the given pages,
@@ -70,6 +85,7 @@ func (n *Nic) sendEngine(p *sim.Proc) {
 			// multiple-VI sensitivity.
 			p.Sleep(sim.Duration(n.openVIs-1) * m.PollPerVI)
 		}
+		n.stallFault(p, fault.SiteDoorbell)
 		p.Sleep(m.DoorbellProc + m.DescFetch)
 		n.processSend(p, db.vi, db.desc)
 		n.rung(db)
@@ -117,6 +133,7 @@ func (n *Nic) sendData(p *sim.Proc, vi *Vi, d *Descriptor) {
 		p.Sleep(m.PerFragment)
 		n.FragsSent++
 		if f.Size > 0 {
+			n.stallFault(p, fault.SiteDMA)
 			p.Sleep(n.xlateCost(pagesIn(runs, f.Offset, f.Size)))
 			p.Sleep(sim.Duration(f.Size) * m.DMAPerByte)
 			n.DMABytesOut += uint64(f.Size)
@@ -217,7 +234,23 @@ func (n *Nic) recvEngine(p *sim.Proc) {
 		del := inbox.Pop(p).(*fabric.Delivery)
 		src := del.Src
 		pkt := del.Payload.(*wirePacket)
+		// A fault-duplicated delivery aliases the same wirePacket as its
+		// sibling copy, so shared packets are never recycled (the GC
+		// reclaims them); aliasing a recycled header would corrupt an
+		// unrelated transfer.
+		corrupted, shared := del.Corrupted, del.Shared
 		net.Recycle(del)
+		if corrupted {
+			// The frame check failed in flight: the NIC discards the
+			// frame before any protocol processing, exactly like a real
+			// CRC drop. Reliable senders retransmit; unreliable messages
+			// lose the fragment silently.
+			n.CorruptDrops++
+			if !pkt.hasSeq && !shared {
+				n.host.sys.recyclePkt(pkt)
+			}
+			continue
+		}
 		if eng.Tracing() {
 			eng.Tracef("nic%d: rx kind=%d from=%d vi=%d msg=%d frag=%d+%d", n.host.id, pkt.kind, src, pkt.dstVi, pkt.msgID, pkt.frag.Offset, pkt.frag.Size)
 		}
@@ -245,7 +278,7 @@ func (n *Nic) recvEngine(p *sim.Proc) {
 			n.connArrived.Broadcast()
 		case pktConnAccept:
 			if vi := n.vis[pkt.dstVi]; vi != nil && vi.state == ViIdle {
-				vi.conn = newConnState(src, pkt.srcVi)
+				vi.conn = newConnState(n.model, src, pkt.srcVi)
 				vi.state = ViConnected
 				vi.connAccepted = true
 				vi.connReply.Broadcast()
@@ -261,7 +294,7 @@ func (n *Nic) recvEngine(p *sim.Proc) {
 				vi.teardown(ViDisconnected)
 			}
 		}
-		if !pkt.hasSeq {
+		if !pkt.hasSeq && !shared {
 			n.host.sys.recyclePkt(pkt)
 		}
 	}
@@ -381,6 +414,7 @@ func (n *Nic) handleData(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	done, ok := conn.reasm.Accept(pkt.msgID, pkt.frag, pkt.msgTotal)
 	var tailCopy sim.Duration
 	if ok && pkt.frag.Size > 0 {
+		n.stallFault(p, fault.SiteDMA)
 		p.Sleep(n.xlateCost(pagesIn(conn.curRecvRuns, pkt.frag.Offset, pkt.frag.Size)))
 		p.Sleep(sim.Duration(pkt.frag.Size) * m.DMAPerByte)
 		n.DMABytesIn += uint64(pkt.frag.Size)
@@ -462,6 +496,7 @@ func (n *Nic) handleRdmaWrite(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 		data, err := n.host.AS.Resolve(addr, pkt.frag.Size)
 		if err == nil {
 			run := []segRun{{addr: addr, data: data}}
+			n.stallFault(p, fault.SiteDMA)
 			p.Sleep(n.xlateCost(pagesIn(run, 0, pkt.frag.Size)))
 			p.Sleep(sim.Duration(pkt.frag.Size) * m.DMAPerByte)
 			n.DMABytesIn += uint64(pkt.frag.Size)
@@ -522,6 +557,7 @@ func (n *Nic) handleReadReq(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 		p.Sleep(m.PerFragment)
 		n.FragsSent++
 		if f.Size > 0 {
+			n.stallFault(p, fault.SiteDMA)
 			p.Sleep(n.xlateCost(pagesIn(runs, f.Offset, f.Size)))
 			p.Sleep(sim.Duration(f.Size) * m.DMAPerByte)
 			n.DMABytesOut += uint64(f.Size)
@@ -563,6 +599,7 @@ func (n *Nic) handleReadResp(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	}
 	done, ok := conn.readReasm.Accept(pkt.readReq, pkt.frag, pkt.msgTotal)
 	if ok && pkt.frag.Size > 0 {
+		n.stallFault(p, fault.SiteDMA)
 		p.Sleep(n.xlateCost(pagesIn(rs.runs, pkt.frag.Offset, pkt.frag.Size)))
 		p.Sleep(sim.Duration(pkt.frag.Size) * m.DMAPerByte)
 		n.DMABytesIn += uint64(pkt.frag.Size)
@@ -581,7 +618,13 @@ func (n *Nic) handleAck(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	if vi == nil {
 		return
 	}
-	for _, pend := range vi.conn.window.Ack(pkt.ackSeq) {
+	conn := vi.conn
+	for _, pend := range conn.window.Ack(pkt.ackSeq) {
+		// Karn's algorithm: only never-retransmitted packets yield RTT
+		// samples, so a retransmission's ack cannot be mis-attributed.
+		if conn.rto.Adaptive && pend.Retries == 0 {
+			conn.rto.Sample(p.Now().Sub(pend.SentAt))
+		}
 		ref := pend.Item.(*sendRef)
 		if ref.desc != nil {
 			n.completeSend(ref.vi, ref.desc, StatusSuccess, ref.total)
@@ -616,9 +659,13 @@ func (n *Nic) handleErrAck(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 }
 
 // failConn breaks a connection: outstanding work completes with transport
-// errors, the VI enters the error state, and the peer is told to tear
-// down.
+// errors, remaining queued work flushes, the VI enters the error state,
+// the peer is told to tear down, and the NIC's asynchronous error handler
+// (the VipErrorCallback analogue) fires exactly once.
 func (n *Nic) failConn(vi *Vi) {
+	if vi.state != ViConnected {
+		return // already failed or torn down; the callback must not refire
+	}
 	conn := vi.conn
 	conn.window.ForEachUnacked(func(pend *nicsim.Pending) bool {
 		ref := pend.Item.(*sendRef)
@@ -635,14 +682,18 @@ func (n *Nic) failConn(vi *Vi) {
 	srcVi := vi.id
 	vi.teardown(ViError)
 	n.sendCtl(&wirePacket{kind: pktDisconnect, srcVi: srcVi, dstVi: peerVi}, peerNode)
+	n.fireError(vi, StatusTransportError)
 }
 
 // --- Retransmission ---
 
 // armRTO schedules a retransmission check for the VI's window if one is
-// not already pending.
+// not already pending, at the policy's current timeout.
 func (n *Nic) armRTO(vi *Vi) {
-	n.armRTOAfter(vi, n.model.RetransmitTimeout)
+	if vi.conn == nil {
+		return
+	}
+	n.armRTOAfter(vi, vi.conn.rto.Timeout())
 }
 
 func (n *Nic) armRTOAfter(vi *Vi, d sim.Duration) {
@@ -665,22 +716,19 @@ func (n *Nic) rtoFire(vi *Vi) {
 	}
 	eng := n.host.sys.Eng
 	oldest := conn.window.Oldest()
-	if age := eng.Now().Sub(oldest.SentAt); age < n.model.RetransmitTimeout {
+	if age := eng.Now().Sub(oldest.SentAt); age < conn.rto.Timeout() {
 		// Acks have been flowing; check again when the oldest packet
 		// actually times out.
 		conn.rtoArmed = true
-		eng.After(n.model.RetransmitTimeout-age, func() { n.rtoFire(vi) })
+		eng.After(conn.rto.Timeout()-age, func() { n.rtoFire(vi) })
 		return
 	}
 	// Give up only after MaxRetries consecutive timeouts with no forward
 	// progress of the oldest unacked sequence; otherwise a long
-	// recovering window would accumulate spurious retry counts.
-	if oldest.Seq != conn.rtoLastSeq {
-		conn.rtoLastSeq = oldest.Seq
-		conn.rtoStalls = 0
-	}
-	conn.rtoStalls++
-	if conn.rtoStalls > n.model.MaxRetries {
+	// recovering window would accumulate spurious retry counts. This is
+	// retransmission exhaustion: in-flight work completes with
+	// StatusTransportError and the VI enters the error state.
+	if conn.rto.Stalled(oldest.Seq) {
 		n.failConn(vi)
 		return
 	}
@@ -705,9 +753,5 @@ func (n *Nic) rtoFire(vi *Vi) {
 	// under heavy queueing the true round trip dwarfs the base timeout,
 	// and retransmitting at the base rate would congest the link with
 	// duplicates faster than it drains.
-	backoff := n.model.RetransmitTimeout << uint(conn.rtoStalls-1)
-	if max := n.model.RetransmitTimeout << 6; backoff > max {
-		backoff = max
-	}
-	n.armRTOAfter(vi, backoff)
+	n.armRTOAfter(vi, conn.rto.Backoff())
 }

@@ -1,0 +1,445 @@
+package via
+
+import (
+	"errors"
+	"os"
+	"strconv"
+	"testing"
+
+	"vibe/internal/fault"
+	"vibe/internal/provider"
+	"vibe/internal/sim"
+	"vibe/internal/vmem"
+)
+
+// --- Spec conformance: disconnect flushes, further posts are rejected ---
+
+// VIA spec: VipDisconnect completes all outstanding descriptors with
+// VIP_STATUS_FLUSHED, and posting to a VI that has left the connected
+// state is an invalid-state error. The peer's posted work flushes too,
+// once the disconnect reaches it.
+func TestDisconnectFlushesPostedDescriptors(t *testing.T) {
+	for _, m := range provider.All() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			var serverSawFlush bool
+			env := newPair(t, m, ViAttributes{},
+				func(ctx *Ctx, vi *Vi, nic *Nic) {
+					const n = 256
+					buf := ctx.Malloc(n)
+					h, err := nic.RegisterMem(ctx, buf)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for i := 0; i < 3; i++ {
+						if err := vi.PostRecv(ctx, SimpleRecv(buf, h, n)); err != nil {
+							t.Errorf("PostRecv %d: %v", i, err)
+							return
+						}
+					}
+					// Give the server time to post its receive before the
+					// teardown races past it.
+					ctx.Sleep(sim.Millisecond)
+					if err := vi.Disconnect(ctx); err != nil {
+						t.Errorf("Disconnect: %v", err)
+						return
+					}
+					if vi.State() != ViDisconnected {
+						t.Errorf("state after Disconnect = %v", vi.State())
+					}
+					for i := 0; i < 3; i++ {
+						d, ok := vi.RecvDone(ctx)
+						if !ok {
+							t.Fatalf("descriptor %d not completed by Disconnect", i)
+						}
+						if d.Status != StatusFlushed {
+							t.Errorf("descriptor %d status = %v, want %v", i, d.Status, StatusFlushed)
+						}
+					}
+					if _, ok := vi.RecvDone(ctx); ok {
+						t.Error("spurious extra completion")
+					}
+					if err := vi.PostSend(ctx, SimpleSend(buf, h, n)); !errors.Is(err, ErrInvalidState) {
+						t.Errorf("PostSend after Disconnect = %v, want ErrInvalidState", err)
+					}
+					if err := vi.PostRecv(ctx, SimpleRecv(buf, h, n)); !errors.Is(err, ErrInvalidState) {
+						t.Errorf("PostRecv after Disconnect = %v, want ErrInvalidState", err)
+					}
+					if nic.FlushedDescs != 3 {
+						t.Errorf("FlushedDescs = %d, want 3", nic.FlushedDescs)
+					}
+				},
+				func(ctx *Ctx, vi *Vi, nic *Nic) {
+					const n = 256
+					buf := ctx.Malloc(n)
+					h, err := nic.RegisterMem(ctx, buf)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := vi.PostRecv(ctx, SimpleRecv(buf, h, n)); err != nil {
+						t.Error(err)
+						return
+					}
+					d, err := vi.RecvWait(ctx, tmo)
+					if err != nil {
+						t.Errorf("peer RecvWait: %v", err)
+						return
+					}
+					if d.Status != StatusFlushed {
+						t.Errorf("peer descriptor status = %v, want %v", d.Status, StatusFlushed)
+					}
+					serverSawFlush = true
+				})
+			env.run()
+			if !serverSawFlush {
+				t.Error("server never observed the flush")
+			}
+		})
+	}
+}
+
+// --- Retransmission exhaustion: the acceptance scenario ---
+
+// exhaustionPlan severs the fabric permanently shortly after connection
+// setup: the handshake goes through, every data packet vanishes.
+func exhaustionPlan() *fault.Plan {
+	return &fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindLinkDown, Start: "5ms"},
+	}}
+}
+
+func TestRetransmissionExhaustionBreaksReliableVi(t *testing.T) {
+	m := provider.CLAN()
+	sys := NewSystem(m, 2, 1)
+	sys.InstallFaults(exhaustionPlan())
+
+	const msgs = 3
+	errorEvents := 0
+	var errorCode Status
+	var statuses []Status
+
+	sys.Go(0, "client", func(ctx *Ctx) {
+		nic := ctx.OpenNic()
+		nic.SetErrorCallback(func(_ *Ctx, ev ErrorEvent) {
+			errorEvents++
+			errorCode = ev.Code
+		})
+		vi, err := nic.CreateVi(ctx, ViAttributes{Reliability: ReliableDelivery}, nil, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := vi.ConnectRequest(ctx, 1, "svc", tmo); err != nil {
+			t.Errorf("ConnectRequest: %v", err)
+			return
+		}
+		// Wait out the healthy window so every data packet hits the outage.
+		if d := sim.Time(0).Add(6 * sim.Millisecond).Sub(ctx.Now()); d > 0 {
+			ctx.Sleep(d)
+		}
+		buf := ctx.Malloc(512)
+		h, err := nic.RegisterMem(ctx, buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			if err := vi.PostSend(ctx, SimpleSend(buf, h, 512)); err != nil {
+				t.Errorf("PostSend %d: %v", i, err)
+				return
+			}
+		}
+		for i := 0; i < msgs; i++ {
+			d, err := vi.SendWait(ctx, sim.Second)
+			if err != nil {
+				t.Errorf("SendWait %d: %v", i, err)
+				return
+			}
+			statuses = append(statuses, d.Status)
+		}
+		if vi.State() != ViError {
+			t.Errorf("VI state = %v, want %v", vi.State(), ViError)
+		}
+		if err := vi.PostSend(ctx, SimpleSend(buf, h, 512)); !errors.Is(err, ErrInvalidState) {
+			t.Errorf("PostSend on errored VI = %v, want ErrInvalidState", err)
+		}
+		if nic.ConnErrors != 1 {
+			t.Errorf("ConnErrors = %d, want 1", nic.ConnErrors)
+		}
+		if nic.TransportErrs == 0 {
+			t.Error("no completion carried StatusTransportError")
+		}
+		if nic.TransportErrs+nic.FlushedDescs != msgs {
+			t.Errorf("transport=%d flushed=%d, want sum %d", nic.TransportErrs, nic.FlushedDescs, msgs)
+		}
+	})
+
+	sys.Go(1, "server", func(ctx *Ctx) {
+		nic := ctx.OpenNic()
+		vi, err := nic.CreateVi(ctx, ViAttributes{Reliability: ReliableDelivery}, nil, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := ctx.Malloc(512)
+		h, err := nic.RegisterMem(ctx, buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			if err := vi.PostRecv(ctx, SimpleRecv(buf, h, 512)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		req, err := nic.ConnectWait(ctx, "svc", tmo)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := req.Accept(ctx, vi); err != nil {
+			t.Error(err)
+			return
+		}
+		// The partition swallows all data, and the client's disconnect
+		// notification dies on the same dead link: the peer cannot be told.
+		// One bounded wait outlives the sender's entire backoff ladder.
+		if _, err := vi.RecvWait(ctx, sim.Second); !errors.Is(err, ErrTimeout) {
+			t.Errorf("server RecvWait = %v, want timeout", err)
+		}
+	})
+
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if errorEvents != 1 {
+		t.Fatalf("error callback fired %d times, want exactly 1", errorEvents)
+	}
+	if errorCode != StatusTransportError {
+		t.Fatalf("error callback code = %v, want %v", errorCode, StatusTransportError)
+	}
+	if len(statuses) != msgs {
+		t.Fatalf("collected %d send statuses, want %d", len(statuses), msgs)
+	}
+	for i, st := range statuses {
+		if st != StatusTransportError && st != StatusFlushed {
+			t.Errorf("send %d status = %v, want TransportError or Flushed", i, st)
+		}
+	}
+}
+
+// The same partition under unreliable delivery degrades gracefully: sends
+// complete successfully into the void and the VI stays connected.
+func TestExhaustionPlanHarmlessWhenUnreliable(t *testing.T) {
+	m := provider.CLAN()
+	sys := NewSystem(m, 2, 1)
+	sys.InstallFaults(exhaustionPlan())
+
+	const msgs = 3
+	callbacks := 0
+
+	sys.Go(0, "client", func(ctx *Ctx) {
+		nic := ctx.OpenNic()
+		nic.SetErrorCallback(func(*Ctx, ErrorEvent) { callbacks++ })
+		vi, err := nic.CreateVi(ctx, ViAttributes{}, nil, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := vi.ConnectRequest(ctx, 1, "svc", tmo); err != nil {
+			t.Errorf("ConnectRequest: %v", err)
+			return
+		}
+		if d := sim.Time(0).Add(6 * sim.Millisecond).Sub(ctx.Now()); d > 0 {
+			ctx.Sleep(d)
+		}
+		buf := ctx.Malloc(512)
+		h, err := nic.RegisterMem(ctx, buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			if err := vi.PostSend(ctx, SimpleSend(buf, h, 512)); err != nil {
+				t.Errorf("PostSend %d: %v", i, err)
+				return
+			}
+			d, err := vi.SendWait(ctx, sim.Second)
+			if err != nil || d.Status != StatusSuccess {
+				t.Errorf("send %d: %v %v", i, err, d)
+				return
+			}
+		}
+		if vi.State() != ViConnected {
+			t.Errorf("VI state = %v, want %v", vi.State(), ViConnected)
+		}
+	})
+
+	sys.Go(1, "server", func(ctx *Ctx) {
+		nic := ctx.OpenNic()
+		vi, err := nic.CreateVi(ctx, ViAttributes{}, nil, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req, err := nic.ConnectWait(ctx, "svc", tmo)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := req.Accept(ctx, vi); err != nil {
+			t.Error(err)
+		}
+		// Nothing will arrive and nothing is posted; just exit.
+	})
+
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if callbacks != 0 {
+		t.Fatalf("error callback fired %d times on an unreliable VI", callbacks)
+	}
+}
+
+// --- Chaos soak ---
+
+// chaosPlans reports how many seeded random plans the soak runs; `make
+// chaos` raises it through the environment for longer soaks.
+func chaosPlans() int {
+	if v := os.Getenv("VIBE_CHAOS_PLANS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 50
+}
+
+// TestChaosSoak throws seeded random fault plans at a streaming workload
+// and checks the invariants that must survive arbitrary faults: the
+// simulation always terminates (every wait is bounded, so a hang is a
+// deadlock and Run reports it), reliable levels deliver in order without
+// gaps or duplicates, and any successfully completed receive carries
+// exactly the bytes of one sent message.
+func TestChaosSoak(t *testing.T) {
+	const (
+		msgs = 16
+		size = 1200
+	)
+	levels := []ReliabilityLevel{Unreliable, ReliableDelivery, ReliableReception}
+	for seed := 0; seed < chaosPlans(); seed++ {
+		plan := fault.RandomPlan(int64(seed))
+		rel := levels[seed%len(levels)]
+		t.Run(strconv.Itoa(seed)+"-"+rel.String(), func(t *testing.T) {
+			sys := NewSystem(provider.CLAN(), 2, int64(seed)+1)
+			sys.InstallFaults(plan)
+			base := byte(seed * 7)
+
+			sys.Go(0, "chaos-client", func(ctx *Ctx) {
+				nic := ctx.OpenNic()
+				nic.SetErrorCallback(func(*Ctx, ErrorEvent) {})
+				vi, err := nic.CreateVi(ctx, ViAttributes{Reliability: rel}, nil, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Faults may eat the handshake; that is a valid outcome,
+				// not a failure.
+				if err := vi.ConnectRequest(ctx, 1, "chaos", 100*sim.Millisecond); err != nil {
+					return
+				}
+				buf := ctx.Malloc(size)
+				h, err := nic.RegisterMem(ctx, buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < msgs; i++ {
+					// The buffer is reused, so each message waits for its
+					// completion before the next refill (retransmissions
+					// resend the NIC's own payload snapshot, so completed
+					// buffers are free to reuse).
+					buf.FillPattern(base + byte(i))
+					if err := vi.PostSend(ctx, SimpleSend(buf, h, size)); err != nil {
+						return // connection broke: acceptable
+					}
+					d, err := vi.SendWait(ctx, sim.Second)
+					if err != nil || d.Status != StatusSuccess {
+						return // broken or stuck: acceptable, but stops cleanly
+					}
+				}
+			})
+
+			sys.Go(1, "chaos-server", func(ctx *Ctx) {
+				nic := ctx.OpenNic()
+				nic.SetErrorCallback(func(*Ctx, ErrorEvent) {})
+				vi, err := nic.CreateVi(ctx, ViAttributes{Reliability: rel}, nil, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				bufs := make(map[*Descriptor]*vmem.Buffer, msgs)
+				for i := 0; i < msgs; i++ {
+					b := ctx.Malloc(size)
+					h, err := nic.RegisterMem(ctx, b)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					d := SimpleRecv(b, h, size)
+					bufs[d] = b
+					if err := vi.PostRecv(ctx, d); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				req, err := nic.ConnectWait(ctx, "chaos", 100*sim.Millisecond)
+				if err != nil {
+					return // handshake eaten by the plan
+				}
+				if err := req.Accept(ctx, vi); err != nil {
+					return
+				}
+				delivered := 0
+				for i := 0; i < msgs; i++ {
+					d, err := vi.RecvWait(ctx, 200*sim.Millisecond)
+					if err != nil {
+						break // lost tail (timeout) or empty flushed queue
+					}
+					if d.Status != StatusSuccess {
+						continue // flushed descriptors carry no data
+					}
+					if d.Length != size {
+						t.Errorf("delivery %d: length %d, want %d", i, d.Length, size)
+						continue
+					}
+					b := bufs[d]
+					if b == nil {
+						t.Errorf("delivery %d: unknown descriptor", i)
+						continue
+					}
+					// Recover which message this is from its first pattern
+					// byte, then verify the whole payload.
+					idx := int(b.Bytes()[0] - base)
+					if idx < 0 || idx >= msgs {
+						t.Errorf("delivery %d: unknown pattern seed %#x", i, b.Bytes()[0])
+						continue
+					}
+					if err := b.CheckPattern(base+byte(idx), size); err != nil {
+						t.Errorf("delivery %d corrupted: %v", i, err)
+					}
+					if rel.Reliable() && idx != delivered {
+						t.Errorf("reliable delivery %d out of order: got message %d, want %d", i, idx, delivered)
+					}
+					delivered++
+				}
+			})
+
+			if err := sys.Run(); err != nil {
+				t.Fatalf("plan %d (%s) did not terminate cleanly: %v", seed, rel, err)
+			}
+		})
+	}
+}

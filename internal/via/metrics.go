@@ -3,6 +3,7 @@ package via
 import (
 	"strconv"
 
+	"vibe/internal/fabric"
 	"vibe/internal/metrics"
 )
 
@@ -61,18 +62,28 @@ func (s *System) CollectMetrics() metrics.Snapshot {
 		// connection's counters, so the sum never double counts).
 		acked, retx := n.winAcked, n.winRetransmits
 		dups, gaps := n.recvDups, n.recvGaps
+		backoffs := n.rtoBackoffs
 		for _, vi := range n.vis {
 			if vi.conn != nil {
 				acked += vi.conn.window.Acked
 				retx += vi.conn.window.Retransmits
 				dups += vi.conn.recvSeq.Duplicates
 				gaps += vi.conn.recvSeq.Gaps
+				backoffs += vi.conn.rto.Backoffs
 			}
 		}
 		r.AddUint(metrics.Join(nicK, "window", "acked"), acked)
 		r.AddUint(metrics.Join(nicK, "window", "retransmits"), retx)
 		r.AddUint(metrics.Join(nicK, "window", "recv_duplicates"), dups)
 		r.AddUint(metrics.Join(nicK, "window", "recv_gaps"), gaps)
+		r.AddUint(metrics.Join(nicK, "window", "backoffs"), backoffs)
+
+		// Error-semantics counters.
+		r.AddUint(metrics.Join(nicK, "drops", "corrupt"), n.CorruptDrops)
+		r.AddUint(metrics.Join(nicK, "flushed"), n.FlushedDescs)
+		r.AddUint(metrics.Join(nicK, "transport_errors"), n.TransportErrs)
+		r.AddUint(metrics.Join(nicK, "conn_errors"), n.ConnErrors)
+		r.Add(metrics.Join(nicK, "fault_stall_ns"), float64(n.FaultStallTime))
 
 		viaK := "via" + strconv.Itoa(i)
 		r.AddUint(metrics.Join(viaK, "sends_posted"), n.PostedSends)
@@ -90,14 +101,30 @@ func (s *System) CollectMetrics() metrics.Snapshot {
 		r.AddUint(metrics.Join(linkK, "tx_bytes"), ls.TxBytes)
 		r.AddUint(metrics.Join(linkK, "rx_packets"), ls.RxPackets)
 		r.AddUint(metrics.Join(linkK, "rx_bytes"), ls.RxBytes)
+		r.AddUint(metrics.Join(linkK, "dropped"), ls.Dropped)
+		r.AddUint(metrics.Join(linkK, "dropped_fault"), ls.DroppedFault)
+		r.AddUint(metrics.Join(linkK, "dropped_filter"), ls.DroppedFilter)
+		r.AddUint(metrics.Join(linkK, "dropped_rate"), ls.DroppedRate)
 	}
 
 	r.AddUint("fabric.sent", s.Net.Sent)
 	r.AddUint("fabric.delivered", s.Net.Delivered)
 	r.AddUint("fabric.dropped", s.Net.Dropped)
+	r.AddUint("fabric.dropped_fault", s.Net.DroppedBy(fabric.DropCauseFault))
+	r.AddUint("fabric.dropped_filter", s.Net.DroppedBy(fabric.DropCauseFilter))
+	r.AddUint("fabric.dropped_rate", s.Net.DroppedBy(fabric.DropCauseRate))
+	r.AddUint("fabric.duplicated", s.Net.Duplicated)
+	r.AddUint("fabric.corrupted", s.Net.Corrupted)
 	r.AddUint("fabric.bytes", s.Net.BytesSent)
 	r.Add("fabric.serialization_ns", float64(s.Net.SerTime))
 	r.Add("fabric.propagation_ns", float64(s.Net.PropTime))
+
+	// Fault-plan application counts by kind, when a plan is installed.
+	if s.faults != nil {
+		for kind, count := range s.faults.Counts() {
+			r.AddUint(metrics.Join("fault", kind), count)
+		}
+	}
 
 	return r.Snapshot()
 }

@@ -1,6 +1,7 @@
 package via
 
 import (
+	"vibe/internal/fault"
 	"vibe/internal/nicsim"
 	"vibe/internal/provider"
 	"vibe/internal/sim"
@@ -61,10 +62,76 @@ type Nic struct {
 	// level (Unreliable, ReliableDelivery, ReliableReception).
 	completions [3]uint64
 
+	// completions by terminal status, for the error-semantics paths:
+	// FlushedDescs counts descriptors completed StatusFlushed (queue
+	// flushes at disconnect/failure), TransportErrs counts
+	// StatusTransportError completions (retransmission exhaustion).
+	FlushedDescs  uint64
+	TransportErrs uint64
+
+	// Fault-injection observability: frames discarded by the receive
+	// engine's CRC check, virtual time lost to injected doorbell/DMA
+	// stalls, and connections broken by transport failure.
+	CorruptDrops   uint64
+	FaultStallTime sim.Duration
+	ConnErrors     uint64
+
 	// Window/sequence counters absorbed from connections at teardown;
 	// live connections are added on top at collection time.
 	winAcked, winRetransmits uint64
 	recvDups, recvGaps       uint64
+	rtoBackoffs              uint64
+
+	// faults is the system's compiled fault plan (nil when none): the
+	// send/receive engines consult it for doorbell and DMA stalls.
+	faults *fault.Injector
+
+	// errCB, when set, receives asynchronous connection-failure events —
+	// the VipErrorCallback analogue. See SetErrorCallback.
+	errCB func(*Ctx, ErrorEvent)
+}
+
+// ErrorEvent describes an asynchronous VIA error: the affected VI and the
+// status its in-flight work completed with.
+type ErrorEvent struct {
+	Vi   *Vi
+	Code Status
+}
+
+// SetErrorCallback installs handler as the NIC's asynchronous error
+// handler, the analogue of VipErrorCallback: when a connection fails
+// (retransmission exhaustion, fatal protection error), the handler runs
+// in a fresh process after the provider's dispatch cost, exactly once per
+// failure. Pass nil to remove it.
+func (n *Nic) SetErrorCallback(handler func(*Ctx, ErrorEvent)) {
+	n.errCB = handler
+}
+
+// countStatus attributes one descriptor completion to the error-semantics
+// counters.
+func (n *Nic) countStatus(st Status) {
+	switch st {
+	case StatusFlushed:
+		n.FlushedDescs++
+	case StatusTransportError:
+		n.TransportErrs++
+	}
+}
+
+// fireError counts a connection failure and dispatches the error handler
+// asynchronously. failConn guarantees it runs at most once per failure.
+func (n *Nic) fireError(vi *Vi, code Status) {
+	n.ConnErrors++
+	cb := n.errCB
+	if cb == nil {
+		return
+	}
+	h := n.host
+	h.sys.Eng.Spawn(procName(h, "err-cb"), func(p *sim.Proc) {
+		ctx := &Ctx{P: p, Host: h}
+		ctx.use(n.model.NotifyDispatch)
+		cb(ctx, ErrorEvent{Vi: vi, Code: code})
+	})
 }
 
 func newNic(h *Host) *Nic {

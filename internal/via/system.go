@@ -15,6 +15,7 @@ import (
 
 	"vibe/internal/cpu"
 	"vibe/internal/fabric"
+	"vibe/internal/fault"
 	"vibe/internal/metrics"
 	"vibe/internal/nicsim"
 	"vibe/internal/provider"
@@ -41,6 +42,28 @@ type System struct {
 	// after the first Run completes (see SetCollector in metrics.go).
 	collector *metrics.Collector
 	collected bool
+
+	// faults is the system's compiled fault plan, nil when none is
+	// installed (see InstallFaults).
+	faults *fault.Injector
+}
+
+// InstallFaults compiles a fault plan into this system: the injector
+// hooks the fabric's packet path and every NIC's doorbell/DMA paths.
+// Each system compiles its own injector, so per-spec state (application
+// counts, the plan RNG) never leaks between simulations and a plan
+// replays identically. Empty or nil plans install nothing — the
+// simulation stays byte-identical to an uninstrumented run.
+func (s *System) InstallFaults(p *fault.Plan) {
+	if p.Empty() {
+		return
+	}
+	inj := p.NewInjector()
+	s.faults = inj
+	s.Net.AddInjector(inj)
+	for _, h := range s.hosts {
+		h.nic.faults = inj
+	}
 }
 
 // getPkt draws a zeroed wirePacket from the free list, allocating on miss.

@@ -106,6 +106,7 @@ func (wq *workQueue) complete(d *Descriptor, st Status, length int) {
 	d.Status = st
 	d.Length = length
 	d.done = true
+	wq.vi.nic.countStatus(st)
 	if wq.isRecv {
 		wq.vi.nic.RecvsCompleted++
 	}
@@ -164,6 +165,7 @@ func (wq *workQueue) flush(st Status) {
 		if !d.done {
 			d.Status = st
 			d.done = true
+			wq.vi.nic.countStatus(st)
 		}
 	}
 	wq.sig.Broadcast()
@@ -182,8 +184,15 @@ func (v *Vi) flushQueues(st Status) {
 // errors surface in the descriptor status.
 func (v *Vi) PostSend(ctx *Ctx, d *Descriptor) error {
 	m := v.nic.model
-	if v.state != ViConnected {
+	switch v.state {
+	case ViConnected:
+	case ViIdle:
 		return ErrNotConnected
+	default:
+		// Disconnected, Error, Destroyed: the VI has left the connected
+		// lifecycle, so posts are invalid-state errors per the VIA spec
+		// (an idle VI is merely not connected yet).
+		return ErrInvalidState
 	}
 	if err := v.validate(d); err != nil {
 		return err

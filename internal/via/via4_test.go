@@ -189,7 +189,7 @@ func TestSendOnErroredViRejectedEventually(t *testing.T) {
 			if d.Status != StatusTransportError {
 				t.Errorf("status %v", d.Status)
 			}
-			if err := vi.PostSend(ctx, SimpleSend(buf, h, 64)); !errors.Is(err, ErrNotConnected) {
+			if err := vi.PostSend(ctx, SimpleSend(buf, h, 64)); !errors.Is(err, ErrInvalidState) {
 				t.Errorf("post on errored VI: %v", err)
 			}
 			// Destroy works from the error state.
