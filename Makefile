@@ -22,12 +22,13 @@ race:
 	$(GO) test -race ./internal/runner/... ./internal/metrics/... ./internal/trace/...
 
 # Seeded chaos soak: run CHAOS_PLANS random fault plans against the VIA
-# stack under the race detector. Every wait in the soak is bounded, so a
-# hang is a simulation deadlock and fails the run; the timeout bounds the
-# wall clock regardless.
+# stack under the race detector, plus the span-accounting integrity sweep
+# (spans must never leak or double-close under faults). Every wait in the
+# soak is bounded, so a hang is a simulation deadlock and fails the run;
+# the timeout bounds the wall clock regardless.
 CHAOS_PLANS ?= 200
 chaos:
-	VIBE_CHAOS_PLANS=$(CHAOS_PLANS) $(GO) test -race -run TestChaosSoak -timeout 10m ./internal/via/
+	VIBE_CHAOS_PLANS=$(CHAOS_PLANS) $(GO) test -race -run 'TestChaosSoak|TestSpanIntegrityUnderFaults' -timeout 10m ./internal/via/
 
 check: vet build test race
 

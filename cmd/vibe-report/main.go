@@ -39,6 +39,7 @@ import (
 	"vibe/internal/core"
 	"vibe/internal/fault"
 	"vibe/internal/metrics"
+	"vibe/internal/prof"
 	"vibe/internal/provider"
 	"vibe/internal/results"
 	"vibe/internal/runner"
@@ -73,6 +74,9 @@ func main() {
 		baseLabel    = flag.String("bench-baseline-label", "", "label describing the -bench-baseline-ms revision")
 		metricsOn    = flag.Bool("metrics", false, "print per-component simulation counters and embed them in -json output")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto); forces -parallel 1")
+		spanSample   = flag.Int("span-sample", 1, "with -metrics/-trace-out, record every Nth message's lifecycle span (1 = every message, 0 = disable)")
+		profileOut   = flag.String("profile-out", "", "write a folded-stack virtual-time profile (flamegraph input) across all experiments")
+		profileTop   = flag.Int("profile-top", 8, "with -profile-out, print each experiment's top N components")
 	)
 	flag.Var(&sets, "set", "override a model parameter, e.g. -set DoorbellCost=2us (repeatable)")
 	flag.Var(&sweeps, "sweep", "sweep a parameter over values, e.g. -sweep TLBCapacity=8,32,128 (repeatable; cells form a grid)")
@@ -117,13 +121,20 @@ func main() {
 	collectors := make([]*metrics.Collector, len(scs))
 	if *metricsOn || rec != nil {
 		for i, sc := range scs {
-			in := &core.Instr{Trace: rec}
+			in := &core.Instr{Trace: rec, SpanSample: *spanSample}
 			if *metricsOn {
 				in.Metrics = metrics.NewCollector()
 				collectors[i] = in.Metrics
 			}
 			sc.Instr = in
 		}
+	}
+	// The profile is shared across workers; ProfiledExperiments scopes
+	// each experiment's attribution under its ID.
+	var profile *prof.Profile
+	if *profileOut != "" {
+		profile = prof.New()
+		exps = core.ProfiledExperiments(exps, profile)
 	}
 
 	if *benchOut != "" {
@@ -240,6 +251,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace written to %s (%d events, %d dropped)\n", *traceOut, rec.Len(), rec.Dropped())
+	}
+	if profile != nil {
+		for _, e := range exps {
+			profile.RenderTop(os.Stdout, e.ID, *profileTop)
+		}
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := profile.WriteFolded(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile written to %s (%d stacks)\n", *profileOut, profile.Len())
 	}
 	os.Exit(exitCode)
 }

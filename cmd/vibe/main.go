@@ -29,6 +29,7 @@ import (
 	"vibe/internal/logp"
 	"vibe/internal/metrics"
 	"vibe/internal/mp"
+	"vibe/internal/prof"
 	"vibe/internal/provider"
 	"vibe/internal/runner"
 	"vibe/internal/table"
@@ -223,6 +224,8 @@ func main() {
 		params       = flag.Bool("params", false, "list the model parameter catalog (-set/-sweep names) and exit")
 		metricsOn    = flag.Bool("metrics", false, "print per-component simulation counters after the run")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto); forces -parallel 1")
+		spanSample   = flag.Int("span-sample", 1, "with -metrics/-trace-out, record every Nth message's lifecycle span (1 = every message, 0 = disable)")
+		profileOut   = flag.String("profile-out", "", "write a folded-stack virtual-time profile (flamegraph/pprof input)")
 	)
 	flag.Var(&sets, "set", "override a model parameter, e.g. -set DoorbellCost=2us (repeatable; see provider catalog)")
 	flag.Var(&sweeps, "sweep", "sweep a parameter over values, e.g. -sweep TLBCapacity=8,32,128 (repeatable; cells form a grid)")
@@ -256,10 +259,14 @@ func main() {
 		rec = &trace.Recorder{Limit: 1 << 20}
 		*parallel = 1
 	}
+	var profile *prof.Profile
+	if *profileOut != "" {
+		profile = prof.New()
+	}
 	collectors := make([]*metrics.Collector, len(scs))
-	if *metricsOn || rec != nil {
+	if *metricsOn || rec != nil || profile != nil {
 		for i, sc := range scs {
-			in := &core.Instr{Trace: rec}
+			in := &core.Instr{Trace: rec, SpanSample: *spanSample}
 			if *metricsOn {
 				in.Metrics = metrics.NewCollector()
 				collectors[i] = in.Metrics
@@ -289,10 +296,28 @@ func main() {
 			}
 			fmt.Printf("trace written to %s (%d events, %d dropped)\n", *traceOut, rec.Len(), rec.Dropped())
 		}
+		if profile != nil {
+			f, err := os.Create(*profileOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := profile.WriteFolded(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("profile written to %s (%d stacks)\n", *profileOut, profile.Len())
+		}
 	}
 
 	if *benchSel == "suite" {
-		err := runSuite(scs, *parallel)
+		exps := core.Experiments()
+		if profile != nil {
+			exps = core.ProfiledExperiments(exps, profile)
+		}
+		err := runSuite(exps, scs, *parallel)
 		finishInstr()
 		if err != nil {
 			fatal(err)
@@ -366,7 +391,11 @@ func main() {
 			return b.run(benchArgs{cfg: cfg, o: o, sizes: sizes, req: *req})
 		},
 	}
-	grid := runner.RunGrid([]*core.Experiment{exp}, scs, runner.Options{Workers: *parallel})
+	exps := []*core.Experiment{exp}
+	if profile != nil {
+		exps = core.ProfiledExperiments(exps, profile)
+	}
+	grid := runner.RunGrid(exps, scs, runner.Options{Workers: *parallel})
 	for si, row := range grid {
 		if len(scs) > 1 {
 			fmt.Printf("--- scenario: %s ---\n", scs[si].Label())
@@ -441,11 +470,10 @@ func flagWasSet(name string) bool {
 	return set
 }
 
-// runSuite executes the whole experiment registry (times each scenario in
-// the grid) across the runner's worker pool, printing a one-line status
-// per cell in registry order.
-func runSuite(scs []*core.Scenario, workers int) error {
-	exps := core.Experiments()
+// runSuite executes the given experiments (times each scenario in the
+// grid) across the runner's worker pool, printing a one-line status per
+// cell in registry order.
+func runSuite(exps []*core.Experiment, scs []*core.Scenario, workers int) error {
 	grid := runner.RunGrid(exps, scs, runner.Options{Workers: workers})
 	for si, row := range grid {
 		if len(scs) > 1 {

@@ -2,21 +2,34 @@ package core
 
 import (
 	"vibe/internal/metrics"
+	"vibe/internal/prof"
 	"vibe/internal/trace"
 	"vibe/internal/via"
 )
 
 // Instr carries the optional instrumentation sinks of a run. A nil Instr
-// (or nil fields) means no collection: the simulated systems still count
-// everything — counters never touch virtual time — but nobody reads them,
-// so results are byte-identical with and without instrumentation (see
-// TestInstrumentationZeroOverhead).
+// (or nil/zero fields) means no collection: the simulated systems still
+// count everything — counters never touch virtual time — but nobody reads
+// them, so results are byte-identical with and without instrumentation
+// (see TestInstrumentationZeroOverhead).
 //
-// The metrics collector is safe to share across the parallel runner's
-// workers; the trace recorder is single-writer and requires workers=1.
+// The metrics collector and profile are safe to share across the parallel
+// runner's workers; the trace recorder is single-writer and requires
+// workers=1.
 type Instr struct {
 	Metrics *metrics.Collector
 	Trace   *trace.Recorder
+
+	// SpanSample enables message-lifecycle span recording, sampling every
+	// Nth message per system (1 = every message; 0 disables). Spans feed
+	// per-phase latency histograms into Metrics and complete events into
+	// Trace; they accumulate but never sleep, so simulated time is
+	// unchanged at any sampling rate.
+	SpanSample int
+
+	// Profile, when set, receives each system's per-component virtual-time
+	// attribution as folded stacks.
+	Profile *prof.Scope
 }
 
 // instrument attaches the config's instrumentation sinks and fault plan
@@ -36,4 +49,34 @@ func (c Config) instrument(sys *via.System) {
 	if c.Instr.Trace != nil {
 		sys.Eng.SetTracer(c.Instr.Trace.ForSystem())
 	}
+	if c.Instr.SpanSample > 0 {
+		sys.EnableSpans(c.Instr.SpanSample)
+	}
+	if c.Instr.Profile != nil {
+		sys.SetProfile(c.Instr.Profile)
+	}
+}
+
+// ProfiledExperiments wraps each experiment so its runs attribute
+// virtual time into p under the experiment's ID — the per-experiment
+// breakdown vibe-report renders and -profile-out writes. The original
+// experiments and the caller's scenario are not modified.
+func ProfiledExperiments(exps []*Experiment, p *prof.Profile) []*Experiment {
+	out := make([]*Experiment, len(exps))
+	for i, e := range exps {
+		e := e
+		w := *e
+		w.Run = func(sc *Scenario) (*Report, error) {
+			s := *sc
+			var in Instr
+			if s.Instr != nil {
+				in = *s.Instr
+			}
+			in.Profile = p.Scope(e.ID)
+			s.Instr = &in
+			return e.Run(&s)
+		}
+		out[i] = &w
+	}
+	return out
 }

@@ -32,20 +32,28 @@ const (
 	Counter Kind = iota
 	// Gauge is a level or high-water mark: heap depth, hit rate.
 	Gauge
+	// Histogram is a log-bucketed latency distribution (see hist.go).
+	// Merging sums buckets; diffing keeps the current distribution.
+	Histogram
 )
 
 func (k Kind) String() string {
-	if k == Gauge {
+	switch k {
+	case Gauge:
 		return "gauge"
+	case Histogram:
+		return "histogram"
 	}
 	return "counter"
 }
 
-// Sample is one named value in a snapshot.
+// Sample is one named value in a snapshot. Histogram samples carry their
+// distribution in Hist and expose the observation count as Value.
 type Sample struct {
 	Key   string
 	Kind  Kind
 	Value float64
+	Hist  *Hist
 }
 
 // Join builds a hierarchical key from parts: Join("nic0", "tlb", "miss")
@@ -109,15 +117,41 @@ func (r *Registry) GaugeMax(key string, v float64) {
 	}
 }
 
+// Observe records one observation into the histogram named key, creating
+// it on first use.
+func (r *Registry) Observe(key string, v float64) {
+	s := r.slot(key, Histogram)
+	if s.Hist == nil {
+		s.Hist = &Hist{}
+	}
+	s.Hist.Observe(v)
+	s.Value = float64(s.Hist.Count())
+}
+
+// SetHist installs a copy of h as the histogram named key. Components that
+// maintain their own Hist values (e.g. the span tracker) publish them into
+// a collection registry this way.
+func (r *Registry) SetHist(key string, h *Hist) {
+	s := r.slot(key, Histogram)
+	s.Hist = h.Clone()
+	s.Value = float64(h.Count())
+}
+
 // Len reports the number of distinct keys.
 func (r *Registry) Len() int { return len(r.s) }
 
 // Snapshot returns a copy of the registry's current state, sorted by key.
-// Snapshots taken at different virtual-time marks can be diffed to isolate
-// a phase's contribution.
+// Histograms are deep-copied, so a snapshot is immutable even if the
+// registry keeps recording. Snapshots taken at different virtual-time
+// marks can be diffed to isolate a phase's contribution.
 func (r *Registry) Snapshot() Snapshot {
 	out := make(Snapshot, len(r.s))
 	copy(out, r.s)
+	for i := range out {
+		if out[i].Hist != nil {
+			out[i].Hist = out[i].Hist.Clone()
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
@@ -136,8 +170,9 @@ func (s Snapshot) Get(key string) (float64, bool) {
 }
 
 // Diff returns s relative to an earlier snapshot prev: counters are
-// subtracted (their growth over the interval), gauges keep their current
-// value. Keys only in prev are dropped; keys only in s appear unchanged.
+// subtracted (their growth over the interval), gauges and histograms keep
+// their current value (a distribution has no meaningful subtraction).
+// Keys only in prev are dropped; keys only in s appear unchanged.
 func (s Snapshot) Diff(prev Snapshot) Snapshot {
 	at := make(map[string]float64, len(prev))
 	for _, p := range prev {
@@ -156,17 +191,29 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 }
 
 // Map flattens the snapshot to a plain key->value map, the form embedded
-// in saved result sets.
+// in saved result sets. Histograms flatten to their summary statistics:
+// key.p50, key.p90, key.p99, key.max and key.count.
 func (s Snapshot) Map() map[string]float64 {
 	m := make(map[string]float64, len(s))
 	for _, x := range s {
+		if x.Kind == Histogram && x.Hist != nil {
+			m[x.Key+".p50"] = x.Hist.Quantile(0.50)
+			m[x.Key+".p90"] = x.Hist.Quantile(0.90)
+			m[x.Key+".p99"] = x.Hist.Quantile(0.99)
+			m[x.Key+".max"] = x.Hist.Max()
+			m[x.Key+".count"] = float64(x.Hist.Count())
+			continue
+		}
 		m[x.Key] = x.Value
 	}
 	return m
 }
 
 // Render writes the snapshot as a per-component table: one block per
-// leading key segment, metrics listed under it.
+// leading key segment, metrics listed under it. The snapshot is already
+// key-sorted (Snapshot construction sorts exactly once), so two renders
+// of the same snapshot are byte-identical. Histograms render as their
+// percentile summary.
 func (s Snapshot) Render(w io.Writer) {
 	last := ""
 	for _, x := range s {
@@ -181,6 +228,13 @@ func (s Snapshot) Render(w io.Writer) {
 		name := x.Key
 		if len(comp) < len(name) {
 			name = name[len(comp)+1:]
+		}
+		if x.Kind == Histogram && x.Hist != nil {
+			h := x.Hist
+			fmt.Fprintf(w, "  %-28s p50=%s p90=%s p99=%s max=%s n=%d\n", name,
+				formatValue(h.Quantile(0.50)), formatValue(h.Quantile(0.90)),
+				formatValue(h.Quantile(0.99)), formatValue(h.Max()), h.Count())
+			continue
 		}
 		fmt.Fprintf(w, "  %-28s %s\n", name, formatValue(x.Value))
 	}
@@ -209,7 +263,8 @@ type Collector struct {
 func NewCollector() *Collector { return &Collector{} }
 
 // Merge folds one system's snapshot into the aggregate: counters sum,
-// gauges keep the maximum observed (high-water semantics).
+// gauges keep the maximum observed (high-water semantics), histograms
+// merge bucket-wise so percentiles aggregate across workers.
 func (c *Collector) Merge(snap Snapshot) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -221,12 +276,27 @@ func (c *Collector) Merge(snap Snapshot) {
 		i, ok := c.idx[x.Key]
 		if !ok {
 			c.idx[x.Key] = len(c.s)
+			if x.Hist != nil {
+				// Own a private copy: later merges mutate it, and the
+				// caller's snapshot must stay immutable.
+				x.Hist = x.Hist.Clone()
+			}
 			c.s = append(c.s, x)
 			continue
 		}
 		switch x.Kind {
 		case Counter:
 			c.s[i].Value += x.Value
+		case Histogram:
+			if x.Hist == nil {
+				break
+			}
+			if c.s[i].Hist == nil {
+				c.s[i].Hist = x.Hist.Clone()
+			} else {
+				c.s[i].Hist.MergeFrom(x.Hist)
+			}
+			c.s[i].Value = float64(c.s[i].Hist.Count())
 		default:
 			if x.Value > c.s[i].Value {
 				c.s[i].Value = x.Value
@@ -242,12 +312,18 @@ func (c *Collector) Systems() int {
 	return c.systems
 }
 
-// Snapshot returns the merged state, sorted by key.
+// Snapshot returns the merged state, sorted by key. Histograms are
+// deep-copied so the snapshot stays stable across further merges.
 func (c *Collector) Snapshot() Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(Snapshot, len(c.s))
 	copy(out, c.s)
+	for i := range out {
+		if out[i].Hist != nil {
+			out[i].Hist = out[i].Hist.Clone()
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }

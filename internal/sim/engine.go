@@ -71,6 +71,24 @@ func (e *Engine) Tracef(format string, args ...interface{}) {
 	}
 }
 
+// SpanTracer is a Tracer that additionally accepts duration-carrying
+// events — completed spans that started at `at` and ran for `dur` of
+// virtual time, as opposed to the instantaneous events Trace records.
+type SpanTracer interface {
+	Tracer
+	TraceSpan(at Time, dur Duration, what string)
+}
+
+// TraceSpanf emits a completed span if the installed tracer understands
+// durations; otherwise it is dropped (a plain Tracer has no place to put
+// one). Like Tracef, the format is only evaluated when a tracer is
+// installed, so callers should still guard with Tracing().
+func (e *Engine) TraceSpanf(at Time, dur Duration, format string, args ...interface{}) {
+	if st, ok := e.tracer.(SpanTracer); ok {
+		st.TraceSpan(at, dur, fmt.Sprintf(format, args...))
+	}
+}
+
 // At schedules fn to run at instant t. Scheduling in the past panics: it
 // would silently reorder causality.
 func (e *Engine) At(t Time, fn func()) {

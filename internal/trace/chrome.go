@@ -9,25 +9,55 @@ import (
 // chromeEvent is one record in the Chrome trace-event format, the JSON
 // schema chrome://tracing and Perfetto (ui.perfetto.dev) load directly.
 type chromeEvent struct {
-	Name string            `json:"name"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"` // microseconds
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
-	S    string            `json:"s,omitempty"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`            // microseconds
+	Dur  float64                `json:"dur,omitempty"` // microseconds, complete events only
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
 }
 
 type chromeFile struct {
 	TraceEvents []chromeEvent `json:"traceEvents"`
 }
 
+// componentOrder lists component-name prefixes in pipeline order — the
+// order a message actually flows through the system — so Perfetto sorts
+// the thread tracks top-to-bottom the way the reader thinks about the
+// data path, instead of by hash order.
+var componentOrder = []string{"cpu", "via", "span", "nic", "link", "fabric"}
+
+// componentRank maps a component name ("nic0", "fabric", "span1") to a
+// sort index: pipeline position first, instance number second. Unknown
+// components (and the catch-all "sim") sort after the pipeline.
+func componentRank(comp string) int {
+	unknown := (len(componentOrder) + 1) * 100
+	for i, prefix := range componentOrder {
+		if !strings.HasPrefix(comp, prefix) {
+			continue
+		}
+		inst := 0
+		for _, c := range comp[len(prefix):] {
+			if c < '0' || c > '9' {
+				return unknown
+			}
+			inst = inst*10 + int(c-'0')
+		}
+		return (i+1)*100 + inst
+	}
+	return unknown
+}
+
 // WriteChrome exports the buffered entries as a Chrome trace-event JSON
 // document. Each recorded system (pid) becomes a process track; within a
 // process, the "component:" prefix of a trace line (e.g. "nic0: rx ...")
 // becomes a named thread track, so the NIC engines of each host line up as
-// parallel timelines. Every entry is a thread-scoped instant event at its
-// virtual timestamp.
+// parallel timelines. Entries without a duration are thread-scoped instant
+// events; entries with one (completed message spans) are complete ("X")
+// events that render as real bars. process_sort_index/thread_sort_index
+// metadata keeps systems in run order and components in pipeline order.
 func (r *Recorder) WriteChrome(w io.Writer) error {
 	f := chromeFile{TraceEvents: []chromeEvent{}}
 
@@ -38,9 +68,19 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 	}
 	tids := make(map[key]int)
 	nextTid := make(map[int]int)
+	seenPid := make(map[int]bool)
 
 	r.each(func(e Entry) {
 		comp, name := splitComponent(e.What)
+		if !seenPid[e.Pid] {
+			seenPid[e.Pid] = true
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "process_sort_index",
+				Ph:   "M",
+				Pid:  e.Pid,
+				Args: map[string]interface{}{"sort_index": e.Pid},
+			})
+		}
 		k := key{e.Pid, comp}
 		tid, ok := tids[k]
 		if !ok {
@@ -52,8 +92,25 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 				Ph:   "M",
 				Pid:  e.Pid,
 				Tid:  tid,
-				Args: map[string]string{"name": comp},
+				Args: map[string]interface{}{"name": comp},
+			}, chromeEvent{
+				Name: "thread_sort_index",
+				Ph:   "M",
+				Pid:  e.Pid,
+				Tid:  tid,
+				Args: map[string]interface{}{"sort_index": componentRank(comp)},
 			})
+		}
+		if e.Dur > 0 {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: name,
+				Ph:   "X",
+				Ts:   float64(e.At) / 1e3, // ns -> us
+				Dur:  float64(e.Dur) / 1e3,
+				Pid:  e.Pid,
+				Tid:  tid,
+			})
+			return
 		}
 		f.TraceEvents = append(f.TraceEvents, chromeEvent{
 			Name: name,

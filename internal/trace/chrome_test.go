@@ -8,8 +8,9 @@ import (
 
 // TestWriteChromeSchema validates the export against the Chrome
 // trace-event format: a top-level traceEvents array whose records carry
-// name/ph/ts/pid/tid, instant events scoped to threads, and thread_name
-// metadata for every (pid, tid) used.
+// name/ph/ts/pid/tid, instant events scoped to threads, complete events
+// with durations, and thread_name plus sort-index metadata for every
+// (pid, tid) used.
 func TestWriteChromeSchema(t *testing.T) {
 	var r Recorder
 	t1 := r.ForSystem()
@@ -33,7 +34,9 @@ func TestWriteChromeSchema(t *testing.T) {
 		t.Fatal("no traceEvents")
 	}
 
-	named := make(map[[2]int]bool) // (pid, tid) with thread_name metadata
+	named := make(map[[2]int]bool)  // (pid, tid) with thread_name metadata
+	sorted := make(map[[2]int]bool) // (pid, tid) with thread_sort_index
+	procSorted := make(map[int]bool)
 	instants := 0
 	for _, ev := range doc.TraceEvents {
 		for _, k := range []string{"name", "ph", "ts", "pid", "tid"} {
@@ -44,14 +47,26 @@ func TestWriteChromeSchema(t *testing.T) {
 		pid, tid := int(ev["pid"].(float64)), int(ev["tid"].(float64))
 		switch ph := ev["ph"].(string); ph {
 		case "M":
-			if ev["name"] != "thread_name" {
+			args := ev["args"].(map[string]interface{})
+			switch ev["name"] {
+			case "thread_name":
+				if args["name"] == "" {
+					t.Fatalf("metadata without thread name: %v", ev)
+				}
+				named[[2]int{pid, tid}] = true
+			case "thread_sort_index":
+				if _, ok := args["sort_index"].(float64); !ok {
+					t.Fatalf("thread_sort_index without numeric sort_index: %v", ev)
+				}
+				sorted[[2]int{pid, tid}] = true
+			case "process_sort_index":
+				if _, ok := args["sort_index"].(float64); !ok {
+					t.Fatalf("process_sort_index without numeric sort_index: %v", ev)
+				}
+				procSorted[pid] = true
+			default:
 				t.Fatalf("unexpected metadata event %v", ev)
 			}
-			args := ev["args"].(map[string]interface{})
-			if args["name"] == "" {
-				t.Fatalf("metadata without thread name: %v", ev)
-			}
-			named[[2]int{pid, tid}] = true
 		case "i":
 			instants++
 			if ev["s"] != "t" {
@@ -59,6 +74,9 @@ func TestWriteChromeSchema(t *testing.T) {
 			}
 			if !named[[2]int{pid, tid}] {
 				t.Fatalf("instant on unnamed thread pid=%d tid=%d", pid, tid)
+			}
+			if !sorted[[2]int{pid, tid}] || !procSorted[pid] {
+				t.Fatalf("instant on unsorted track pid=%d tid=%d", pid, tid)
 			}
 		default:
 			t.Fatalf("unexpected phase %q", ph)
@@ -93,8 +111,8 @@ func TestWriteChromeTracks(t *testing.T) {
 	tidByName := make(map[string]int)
 	for _, ev := range doc.TraceEvents {
 		pids[ev.Pid] = true
-		if ev.Ph == "M" && ev.Pid == 1 {
-			tidByName[ev.Args["name"]] = ev.Tid
+		if ev.Ph == "M" && ev.Name == "thread_name" && ev.Pid == 1 {
+			tidByName[ev.Args["name"].(string)] = ev.Tid
 		}
 		if ev.Ph == "i" && ev.Name == "tx" && ev.Ts != 3.0 {
 			t.Fatalf("ts = %v us, want 3.0", ev.Ts)
@@ -105,5 +123,52 @@ func TestWriteChromeTracks(t *testing.T) {
 	}
 	if len(tidByName) != 2 || tidByName["nic0"] == tidByName["nic1"] {
 		t.Fatalf("thread mapping = %v, want distinct nic0/nic1", tidByName)
+	}
+}
+
+// TestWriteChromeSpans checks duration-carrying entries export as "X"
+// complete events with start and duration in microseconds.
+func TestWriteChromeSpans(t *testing.T) {
+	var r Recorder
+	tr := r.ForSystem()
+	tr.Trace(1000, "nic0: instant")
+	r.TraceSpan(2000, 5000, "span0: send 4096B ok")
+
+	var b bytes.Buffer
+	if err := r.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeFile
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	var complete *chromeEvent
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			complete = &doc.TraceEvents[i]
+		}
+	}
+	if complete == nil {
+		t.Fatal("no complete event exported")
+	}
+	if complete.Name != "send 4096B ok" || complete.Ts != 2.0 || complete.Dur != 5.0 {
+		t.Fatalf("complete event = %+v, want name trimmed, ts=2us dur=5us", complete)
+	}
+}
+
+// TestComponentRank checks pipeline ordering: cpu before via before span
+// before nic before link before fabric, instances in numeric order, and
+// unknown components after everything.
+func TestComponentRank(t *testing.T) {
+	order := []string{"cpu0", "cpu1", "via0", "span0", "nic0", "nic1", "nic10", "link3", "fabric", "sim", "mystery"}
+	for i := 1; i < len(order); i++ {
+		a, b := componentRank(order[i-1]), componentRank(order[i])
+		if a > b {
+			t.Errorf("rank(%s)=%d > rank(%s)=%d", order[i-1], a, order[i], b)
+		}
+	}
+	if componentRank("sim") <= componentRank("fabric") {
+		t.Error("catch-all sim must sort after the pipeline")
 	}
 }

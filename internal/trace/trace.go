@@ -15,9 +15,12 @@ import (
 
 // Entry is one recorded event. Pid identifies the simulated system it came
 // from (0 when the Recorder is used directly as a tracer; per-system
-// tracers from ForSystem stamp 1, 2, ...).
+// tracers from ForSystem stamp 1, 2, ...). Dur is zero for instantaneous
+// events and positive for completed spans, which start at At and run for
+// Dur of virtual time.
 type Entry struct {
 	At   sim.Time
+	Dur  sim.Duration
 	What string
 	Pid  int
 }
@@ -39,13 +42,19 @@ type Recorder struct {
 	nextPid int32
 }
 
-var _ sim.Tracer = (*Recorder)(nil)
+var _ sim.SpanTracer = (*Recorder)(nil)
 
 // Trace implements sim.Tracer, recording with Pid 0.
-func (r *Recorder) Trace(at sim.Time, what string) { r.trace(0, at, what) }
+func (r *Recorder) Trace(at sim.Time, what string) { r.trace(0, 0, at, what) }
 
-func (r *Recorder) trace(pid int, at sim.Time, what string) {
-	e := Entry{At: at, What: what, Pid: pid}
+// TraceSpan implements sim.SpanTracer, recording a duration-carrying
+// entry with Pid 0.
+func (r *Recorder) TraceSpan(at sim.Time, dur sim.Duration, what string) {
+	r.trace(0, dur, at, what)
+}
+
+func (r *Recorder) trace(pid int, dur sim.Duration, at sim.Time, what string) {
+	e := Entry{At: at, Dur: dur, What: what, Pid: pid}
 	if r.Limit <= 0 || len(r.buf) < r.Limit {
 		r.buf = append(r.buf, e)
 		return
@@ -70,7 +79,13 @@ type systemTracer struct {
 	pid int
 }
 
-func (t *systemTracer) Trace(at sim.Time, what string) { t.r.trace(t.pid, at, what) }
+var _ sim.SpanTracer = (*systemTracer)(nil)
+
+func (t *systemTracer) Trace(at sim.Time, what string) { t.r.trace(t.pid, 0, at, what) }
+
+func (t *systemTracer) TraceSpan(at sim.Time, dur sim.Duration, what string) {
+	t.r.trace(t.pid, dur, at, what)
+}
 
 // Entries returns a copy of the buffered entries, oldest first.
 func (r *Recorder) Entries() []Entry {

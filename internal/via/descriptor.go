@@ -73,6 +73,7 @@ type Descriptor struct {
 
 	done bool
 	vi   *Vi
+	span *msgSpan // non-nil while this message's lifecycle is being sampled
 }
 
 // TotalLength sums the descriptor's data segment lengths.

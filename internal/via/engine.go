@@ -19,8 +19,14 @@ type sendRef struct {
 }
 
 // send injects a packet into the fabric and returns the instant it has
-// finished serializing out of this adapter.
+// finished serializing out of this adapter. Span-carrying packets are
+// stamped with the departure time so the receiver can attribute wire
+// time; retransmissions restamp, so the measurement covers the attempt
+// that actually arrived.
 func (n *Nic) send(pkt *wirePacket, dst fabric.NodeID) sim.Time {
+	if pkt.span != nil {
+		pkt.sentAt = n.host.sys.Eng.Now()
+	}
 	return n.host.sys.Net.Send(n.host.id, dst, pkt.wireSize(n.model.AckBytes), pkt)
 }
 
@@ -79,14 +85,23 @@ func (n *Nic) sendEngine(p *sim.Proc) {
 		if eng.Tracing() {
 			eng.Tracef("nic%d: doorbell vi=%d op=%d len=%d", n.host.id, db.vi.id, db.desc.Op, db.desc.TotalLength())
 		}
+		sp := db.desc.span
+		sp.mark(phaseQueue, p.Now()) // time since post spent waiting in the send queue
 		if m.PollSweep && n.openVIs > 1 {
 			// Firmware sweeps every open VI's send structure to find
 			// work — the Berkeley VIA behaviour behind the paper's
 			// multiple-VI sensitivity.
-			p.Sleep(sim.Duration(n.openVIs-1) * m.PollPerVI)
+			sweep := sim.Duration(n.openVIs-1) * m.PollPerVI
+			p.Sleep(sweep)
+			n.BusyDoorbell += sweep
 		}
 		n.stallFault(p, fault.SiteDoorbell)
+		sp.mark(phaseDoorbell, p.Now()) // poll sweep + any injected stall
 		p.Sleep(m.DoorbellProc + m.DescFetch)
+		n.BusyDoorbell += m.DoorbellProc
+		n.BusyFetch += m.DescFetch
+		sp.add(phaseDoorbell, m.DoorbellProc, p.Now())
+		sp.add(phaseFetch, m.DescFetch, p.Now())
 		n.processSend(p, db.vi, db.desc)
 		n.rung(db)
 		n.SendsProcessed++
@@ -128,14 +143,24 @@ func (n *Nic) sendData(p *sim.Proc, vi *Vi, d *Descriptor) {
 	msgID := n.nextMsgID
 	reliable := vi.attrs.Reliability.Reliable()
 
+	sp := d.span
 	var lastTx sim.Time
 	for _, f := range frags {
 		p.Sleep(m.PerFragment)
+		n.BusyFrag += m.PerFragment
+		sp.add(phaseFrag, m.PerFragment, p.Now())
 		n.FragsSent++
 		if f.Size > 0 {
 			n.stallFault(p, fault.SiteDMA)
-			p.Sleep(n.xlateCost(pagesIn(runs, f.Offset, f.Size)))
-			p.Sleep(sim.Duration(f.Size) * m.DMAPerByte)
+			sp.mark(phaseDMA, p.Now()) // injected DMA stall, if any
+			xd := n.xlateCost(pagesIn(runs, f.Offset, f.Size))
+			p.Sleep(xd)
+			n.BusyXlate += xd
+			sp.add(phaseXlate, xd, p.Now())
+			dd := sim.Duration(f.Size) * m.DMAPerByte
+			p.Sleep(dd)
+			n.BusyDMA += dd
+			sp.add(phaseDMA, dd, p.Now())
 			n.DMABytesOut += uint64(f.Size)
 		}
 		data := sys.bufs.Get(f.Size)
@@ -156,6 +181,7 @@ func (n *Nic) sendData(p *sim.Proc, vi *Vi, d *Descriptor) {
 		if d.HasImmediate && f.Last {
 			pkt.immediate, pkt.hasImmediate = d.ImmediateData, true
 		}
+		pkt.span = sp
 		if reliable {
 			ref := &sendRef{vi: vi, total: total, pkt: pkt}
 			if f.Last {
@@ -190,6 +216,8 @@ func (n *Nic) sendReadRequest(p *sim.Proc, vi *Vi, d *Descriptor) {
 		return
 	}
 	p.Sleep(m.PerFragment)
+	n.BusyFrag += m.PerFragment
+	d.span.add(phaseFrag, m.PerFragment, p.Now())
 	n.FragsSent++
 	n.nextReadID++
 	id := n.nextReadID
@@ -202,6 +230,7 @@ func (n *Nic) sendReadRequest(p *sim.Proc, vi *Vi, d *Descriptor) {
 		msgTotal:     totalLen(runs),
 		remoteAddr:   d.Remote.Addr,
 		remoteHandle: d.Remote.Handle,
+		span:         d.span,
 	}
 	pend := conn.window.Add(&sendRef{vi: vi, pkt: pkt}, p.Now())
 	pkt.seq, pkt.hasSeq = pend.Seq, true
@@ -332,6 +361,7 @@ func (n *Nic) sendAck(p *sim.Proc, vi *Vi) {
 		return
 	}
 	p.Sleep(n.model.AckProcessing)
+	n.BusyAck += n.model.AckProcessing
 	n.AcksSent++
 	n.send(&wirePacket{
 		kind:   pktAck,
@@ -343,7 +373,11 @@ func (n *Nic) sendAck(p *sim.Proc, vi *Vi) {
 
 func (n *Nic) handleData(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	m := n.model
+	sp := pkt.span
+	sp.add(phaseWire, p.Now().Sub(pkt.sentAt), p.Now())
 	p.Sleep(m.PerFragmentRecv)
+	n.BusyFrag += m.PerFragmentRecv
+	sp.add(phaseReassembly, m.PerFragmentRecv, p.Now())
 	n.FragsRecv++
 	vi := n.lookupVi(src, pkt)
 	if vi == nil {
@@ -408,15 +442,29 @@ func (n *Nic) handleData(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 			}
 			return
 		}
+		if t := n.host.sys.spans; t != nil {
+			d.span = t.open(pathRecv, int(n.host.id), pkt.msgTotal, p.Now())
+		}
 		conn.curRecv, conn.curRecvRuns = d, runs
 	}
+	rsp := conn.curRecv.span
 
 	done, ok := conn.reasm.Accept(pkt.msgID, pkt.frag, pkt.msgTotal)
 	var tailCopy sim.Duration
 	if ok && pkt.frag.Size > 0 {
 		n.stallFault(p, fault.SiteDMA)
-		p.Sleep(n.xlateCost(pagesIn(conn.curRecvRuns, pkt.frag.Offset, pkt.frag.Size)))
-		p.Sleep(sim.Duration(pkt.frag.Size) * m.DMAPerByte)
+		sp.mark(phaseDMA, p.Now())
+		rsp.mark(phaseReassembly, p.Now()) // inter-fragment wait + stall on the recv side
+		xd := n.xlateCost(pagesIn(conn.curRecvRuns, pkt.frag.Offset, pkt.frag.Size))
+		p.Sleep(xd)
+		n.BusyXlate += xd
+		sp.add(phaseXlate, xd, p.Now())
+		rsp.add(phaseXlate, xd, p.Now())
+		dd := sim.Duration(pkt.frag.Size) * m.DMAPerByte
+		p.Sleep(dd)
+		n.BusyDMA += dd
+		sp.add(phaseDMA, dd, p.Now())
+		rsp.add(phaseDMA, dd, p.Now())
 		n.DMABytesIn += uint64(pkt.frag.Size)
 		scatter(conn.curRecvRuns, pkt.frag.Offset, pkt.data)
 		if m.HostCopies {
@@ -460,7 +508,11 @@ func (n *Nic) finishRecv(vi *Vi, d *Descriptor, st Status, length int, delay sim
 
 func (n *Nic) handleRdmaWrite(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	m := n.model
+	sp := pkt.span
+	sp.add(phaseWire, p.Now().Sub(pkt.sentAt), p.Now())
 	p.Sleep(m.PerFragmentRecv)
+	n.BusyFrag += m.PerFragmentRecv
+	sp.add(phaseReassembly, m.PerFragmentRecv, p.Now())
 	n.FragsRecv++
 	vi := n.lookupVi(src, pkt)
 	if vi == nil {
@@ -497,8 +549,15 @@ func (n *Nic) handleRdmaWrite(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 		if err == nil {
 			run := []segRun{{addr: addr, data: data}}
 			n.stallFault(p, fault.SiteDMA)
-			p.Sleep(n.xlateCost(pagesIn(run, 0, pkt.frag.Size)))
-			p.Sleep(sim.Duration(pkt.frag.Size) * m.DMAPerByte)
+			sp.mark(phaseDMA, p.Now())
+			xd := n.xlateCost(pagesIn(run, 0, pkt.frag.Size))
+			p.Sleep(xd)
+			n.BusyXlate += xd
+			sp.add(phaseXlate, xd, p.Now())
+			dd := sim.Duration(pkt.frag.Size) * m.DMAPerByte
+			p.Sleep(dd)
+			n.BusyDMA += dd
+			sp.add(phaseDMA, dd, p.Now())
 			n.DMABytesIn += uint64(pkt.frag.Size)
 			copy(data, pkt.data)
 		}
@@ -523,7 +582,11 @@ func (n *Nic) handleRdmaWrite(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 
 func (n *Nic) handleReadReq(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	m := n.model
+	sp := pkt.span
+	sp.add(phaseWire, p.Now().Sub(pkt.sentAt), p.Now())
 	p.Sleep(m.PerFragmentRecv)
+	n.BusyFrag += m.PerFragmentRecv
+	sp.add(phaseReassembly, m.PerFragmentRecv, p.Now())
 	vi := n.lookupVi(src, pkt)
 	if vi == nil {
 		return
@@ -555,11 +618,20 @@ func (n *Nic) handleReadReq(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	runs := []segRun{{addr: pkt.remoteAddr, data: data}}
 	for _, f := range nicsim.Fragments(pkt.msgTotal, m.WireMTU) {
 		p.Sleep(m.PerFragment)
+		n.BusyFrag += m.PerFragment
+		sp.add(phaseFrag, m.PerFragment, p.Now())
 		n.FragsSent++
 		if f.Size > 0 {
 			n.stallFault(p, fault.SiteDMA)
-			p.Sleep(n.xlateCost(pagesIn(runs, f.Offset, f.Size)))
-			p.Sleep(sim.Duration(f.Size) * m.DMAPerByte)
+			sp.mark(phaseDMA, p.Now())
+			xd := n.xlateCost(pagesIn(runs, f.Offset, f.Size))
+			p.Sleep(xd)
+			n.BusyXlate += xd
+			sp.add(phaseXlate, xd, p.Now())
+			dd := sim.Duration(f.Size) * m.DMAPerByte
+			p.Sleep(dd)
+			n.BusyDMA += dd
+			sp.add(phaseDMA, dd, p.Now())
 			n.DMABytesOut += uint64(f.Size)
 		}
 		buf := sys.bufs.Get(f.Size)
@@ -572,6 +644,7 @@ func (n *Nic) handleReadReq(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 		resp.frag = f
 		resp.msgTotal = pkt.msgTotal
 		resp.data = buf
+		resp.span = sp // the requester's span rides back on the response
 		pend := conn.window.Add(&sendRef{vi: vi, pkt: resp}, p.Now())
 		resp.seq, resp.hasSeq = pend.Seq, true
 		n.send(resp, conn.peerNode)
@@ -581,7 +654,11 @@ func (n *Nic) handleReadReq(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 
 func (n *Nic) handleReadResp(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	m := n.model
+	sp := pkt.span
+	sp.add(phaseWire, p.Now().Sub(pkt.sentAt), p.Now())
 	p.Sleep(m.PerFragmentRecv)
+	n.BusyFrag += m.PerFragmentRecv
+	sp.add(phaseReassembly, m.PerFragmentRecv, p.Now())
 	n.FragsRecv++
 	vi := n.lookupVi(src, pkt)
 	if vi == nil {
@@ -600,8 +677,15 @@ func (n *Nic) handleReadResp(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	done, ok := conn.readReasm.Accept(pkt.readReq, pkt.frag, pkt.msgTotal)
 	if ok && pkt.frag.Size > 0 {
 		n.stallFault(p, fault.SiteDMA)
-		p.Sleep(n.xlateCost(pagesIn(rs.runs, pkt.frag.Offset, pkt.frag.Size)))
-		p.Sleep(sim.Duration(pkt.frag.Size) * m.DMAPerByte)
+		sp.mark(phaseDMA, p.Now())
+		xd := n.xlateCost(pagesIn(rs.runs, pkt.frag.Offset, pkt.frag.Size))
+		p.Sleep(xd)
+		n.BusyXlate += xd
+		sp.add(phaseXlate, xd, p.Now())
+		dd := sim.Duration(pkt.frag.Size) * m.DMAPerByte
+		p.Sleep(dd)
+		n.BusyDMA += dd
+		sp.add(phaseDMA, dd, p.Now())
 		n.DMABytesIn += uint64(pkt.frag.Size)
 		scatter(rs.runs, pkt.frag.Offset, pkt.data)
 	}
@@ -613,6 +697,7 @@ func (n *Nic) handleReadResp(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 
 func (n *Nic) handleAck(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	p.Sleep(n.model.AckProcessing)
+	n.BusyAck += n.model.AckProcessing
 	n.AcksRecv++
 	vi := n.lookupVi(src, pkt)
 	if vi == nil {
@@ -634,6 +719,7 @@ func (n *Nic) handleAck(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 
 func (n *Nic) handleErrAck(p *sim.Proc, src fabric.NodeID, pkt *wirePacket) {
 	p.Sleep(n.model.AckProcessing)
+	n.BusyAck += n.model.AckProcessing
 	vi := n.lookupVi(src, pkt)
 	if vi == nil {
 		return

@@ -335,6 +335,7 @@ func TestChaosSoak(t *testing.T) {
 		t.Run(strconv.Itoa(seed)+"-"+rel.String(), func(t *testing.T) {
 			sys := NewSystem(provider.CLAN(), 2, int64(seed)+1)
 			sys.InstallFaults(plan)
+			sys.EnableSpans(1)
 			base := byte(seed * 7)
 
 			sys.Go(0, "chaos-client", func(ctx *Ctx) {
@@ -439,6 +440,19 @@ func TestChaosSoak(t *testing.T) {
 
 			if err := sys.Run(); err != nil {
 				t.Fatalf("plan %d (%s) did not terminate cleanly: %v", seed, rel, err)
+			}
+			// Span accounting must survive whatever the plan did: no
+			// double-closes ever, and no more closes than opens. (Workloads
+			// here bail out without disconnecting when faults break the
+			// connection, so still-queued descriptors legitimately hold
+			// open spans — see TestSpanIntegrityUnderFaults for the
+			// balanced-teardown variant.)
+			opened, closed, doubles := sys.SpanStats()
+			if doubles != 0 {
+				t.Errorf("plan %d (%s): %d double-closed spans", seed, rel, doubles)
+			}
+			if closed > opened {
+				t.Errorf("plan %d (%s): closed %d spans but opened only %d", seed, rel, closed, opened)
 			}
 		})
 	}

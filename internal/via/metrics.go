@@ -5,6 +5,7 @@ import (
 
 	"vibe/internal/fabric"
 	"vibe/internal/metrics"
+	"vibe/internal/prof"
 )
 
 // SetCollector arranges for the system's metrics snapshot to be merged into
@@ -85,6 +86,16 @@ func (s *System) CollectMetrics() metrics.Snapshot {
 		r.AddUint(metrics.Join(nicK, "conn_errors"), n.ConnErrors)
 		r.Add(metrics.Join(nicK, "fault_stall_ns"), float64(n.FaultStallTime))
 
+		// Busy-time attribution: virtual time the NIC engines spent per
+		// cost-component phase (the profiler's source, exported here too so
+		// metrics tables show the same decomposition).
+		r.Add(metrics.Join(nicK, "busy", "doorbell_ns"), float64(n.BusyDoorbell))
+		r.Add(metrics.Join(nicK, "busy", "desc_fetch_ns"), float64(n.BusyFetch))
+		r.Add(metrics.Join(nicK, "busy", "frag_ns"), float64(n.BusyFrag))
+		r.Add(metrics.Join(nicK, "busy", "xlate_ns"), float64(n.BusyXlate))
+		r.Add(metrics.Join(nicK, "busy", "dma_ns"), float64(n.BusyDMA))
+		r.Add(metrics.Join(nicK, "busy", "ack_ns"), float64(n.BusyAck))
+
 		viaK := "via" + strconv.Itoa(i)
 		r.AddUint(metrics.Join(viaK, "sends_posted"), n.PostedSends)
 		r.AddUint(metrics.Join(viaK, "recvs_posted"), n.PostedRecvs)
@@ -126,5 +137,53 @@ func (s *System) CollectMetrics() metrics.Snapshot {
 		}
 	}
 
+	// Message-lifecycle span histograms: end-to-end and per-phase latency
+	// distributions for each sampled path (see span.go).
+	if t := s.spans; t != nil {
+		r.AddUint("span.sampled", t.opened)
+		r.AddUint("span.completed", t.closedN)
+		for pi := spanPath(0); pi < numPaths; pi++ {
+			if t.totals[pi].Count() == 0 {
+				continue
+			}
+			r.SetHist(metrics.Join("span", pathNames[pi], "total_ns"), &t.totals[pi])
+			for ph := spanPhase(0); ph < numPhases; ph++ {
+				if t.phaseH[pi][ph].Count() > 0 {
+					r.SetHist(metrics.Join("span", pathNames[pi], phaseNames[ph]+"_ns"), &t.phaseH[pi][ph])
+				}
+			}
+		}
+	}
+
 	return r.Snapshot()
+}
+
+// SetProfile arranges for the system's virtual-time attribution to be
+// folded into sc when Run finishes. Like SetCollector, it only controls
+// whether the always-on busy accumulators are read.
+func (s *System) SetProfile(sc *prof.Scope) { s.profile = sc }
+
+// CollectProfile folds per-component busy-time attribution into sc as
+// `host{i};component;phase` stacks: where every simulated nanosecond of
+// CPU and NIC engine time went, plus the fabric's serialization and
+// propagation totals.
+func (s *System) CollectProfile(sc *prof.Scope) {
+	for i, h := range s.hosts {
+		hostK := "host" + strconv.Itoa(i)
+		spin, wake := h.CPU.SpinBusy(), h.CPU.WakeBusy()
+		sc.Add(int64(h.CPU.Busy()-spin-wake), hostK, "cpu", "compute")
+		sc.Add(int64(spin), hostK, "cpu", "spin")
+		sc.Add(int64(wake), hostK, "cpu", "wake")
+
+		n := h.nic
+		sc.Add(int64(n.BusyDoorbell), hostK, "nic", "doorbell")
+		sc.Add(int64(n.BusyFetch), hostK, "nic", "desc_fetch")
+		sc.Add(int64(n.BusyFrag), hostK, "nic", "frag")
+		sc.Add(int64(n.BusyXlate), hostK, "nic", "xlate")
+		sc.Add(int64(n.BusyDMA), hostK, "nic", "dma")
+		sc.Add(int64(n.BusyAck), hostK, "nic", "ack")
+		sc.Add(int64(n.FaultStallTime), hostK, "nic", "stall")
+	}
+	sc.Add(int64(s.Net.SerTime), "fabric", "serialization")
+	sc.Add(int64(s.Net.PropTime), "fabric", "propagation")
 }

@@ -82,6 +82,17 @@ type Nic struct {
 	recvDups, recvGaps       uint64
 	rtoBackoffs              uint64
 
+	// Busy-time attribution: virtual time the NIC engines spent in each
+	// cost-component phase, accumulated alongside the Sleeps that model
+	// them. Always on (plain additions), feeding both the nic{i}.busy.*
+	// metrics keys and the virtual-time profiler.
+	BusyDoorbell sim.Duration
+	BusyFetch    sim.Duration
+	BusyFrag     sim.Duration
+	BusyXlate    sim.Duration
+	BusyDMA      sim.Duration
+	BusyAck      sim.Duration
+
 	// faults is the system's compiled fault plan (nil when none): the
 	// send/receive engines consult it for doorbell and DMA stalls.
 	faults *fault.Injector

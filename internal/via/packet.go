@@ -5,6 +5,7 @@ import (
 
 	"vibe/internal/fabric"
 	"vibe/internal/nicsim"
+	"vibe/internal/sim"
 	"vibe/internal/vmem"
 )
 
@@ -87,6 +88,12 @@ type wirePacket struct {
 	disc        string
 	reliability ReliabilityLevel
 	reqID       uint64 // connection request id
+
+	// Span carriage: the sampled message's span, if any, and the virtual
+	// time Nic.send last put this packet on the wire (restamped on
+	// retransmit, so wire time covers the attempt that arrived).
+	span   *msgSpan
+	sentAt sim.Time
 }
 
 // wireSize reports the bytes the packet occupies on the wire (payload plus

@@ -18,6 +18,7 @@ import (
 	"vibe/internal/fault"
 	"vibe/internal/metrics"
 	"vibe/internal/nicsim"
+	"vibe/internal/prof"
 	"vibe/internal/provider"
 	"vibe/internal/sim"
 	"vibe/internal/vmem"
@@ -46,6 +47,15 @@ type System struct {
 	// faults is the system's compiled fault plan, nil when none is
 	// installed (see InstallFaults).
 	faults *fault.Injector
+
+	// spans, when set, samples message lifecycles into per-phase latency
+	// histograms (see span.go / EnableSpans).
+	spans *spanTracker
+
+	// profile, when set, receives per-component virtual-time attribution
+	// after the first Run (see SetProfile in metrics.go).
+	profile  *prof.Scope
+	profiled bool
 }
 
 // InstallFaults compiles a fault plan into this system: the injector
@@ -133,6 +143,10 @@ func (s *System) Run() error {
 	if s.collector != nil && !s.collected {
 		s.collected = true
 		s.collector.Merge(s.CollectMetrics())
+	}
+	if s.profile != nil && !s.profiled {
+		s.profiled = true
+		s.CollectProfile(s.profile)
 	}
 	return err
 }

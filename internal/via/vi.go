@@ -87,6 +87,7 @@ func (wq *workQueue) post(d *Descriptor) {
 	d.Length = 0
 	d.GotImmediate = false
 	d.vi = wq.vi
+	d.span = nil
 	wq.pending = append(wq.pending, d)
 }
 
@@ -106,6 +107,7 @@ func (wq *workQueue) complete(d *Descriptor, st Status, length int) {
 	d.Status = st
 	d.Length = length
 	d.done = true
+	wq.closeSpan(d, st)
 	wq.vi.nic.countStatus(st)
 	if wq.isRecv {
 		wq.vi.nic.RecvsCompleted++
@@ -165,10 +167,34 @@ func (wq *workQueue) flush(st Status) {
 		if !d.done {
 			d.Status = st
 			d.done = true
+			wq.closeSpan(d, st)
 			wq.vi.nic.countStatus(st)
 		}
 	}
 	wq.sig.Broadcast()
+}
+
+// closeSpan closes the message-lifecycle span riding on d, if any. The
+// residual tail since the last attributed phase is the ACK round trip for
+// reliable sends (the status write waits on the peer's acknowledgment)
+// and the completion write otherwise. Every descriptor completion funnels
+// through complete or flush, so spans cannot leak; the span's own closed
+// flag makes a second close harmless (and counted).
+func (wq *workQueue) closeSpan(d *Descriptor, st Status) {
+	sp := d.span
+	if sp == nil {
+		return
+	}
+	d.span = nil
+	t := wq.host.sys.spans
+	if t == nil {
+		return
+	}
+	residual := phaseCompletion
+	if !wq.isRecv && wq.vi.attrs.Reliability.Reliable() {
+		residual = phaseAck
+	}
+	t.close(sp, residual, st == StatusSuccess, wq.host.sys.Eng.Now())
 }
 
 func (v *Vi) flushQueues(st Status) {
@@ -218,6 +244,11 @@ func (v *Vi) PostSend(ctx *Ctx, d *Descriptor) error {
 		}
 	}
 
+	var sp *msgSpan
+	if t := v.nic.host.sys.spans; t != nil {
+		sp = t.open(spanPathFor(d.Op), int(v.nic.host.id), d.TotalLength(), ctx.Now())
+	}
+
 	cost := m.PostSendCost
 	if extra := len(d.Segs) - 1; extra > 0 {
 		cost += sim.Duration(extra) * m.PerSegmentCost
@@ -232,6 +263,7 @@ func (v *Vi) PostSend(ctx *Ctx, d *Descriptor) error {
 	}
 	cost += m.DoorbellCost
 	ctx.use(cost)
+	sp.add(phasePost, cost, ctx.Now())
 
 	switch d.Op {
 	case OpRdmaWrite:
@@ -242,6 +274,7 @@ func (v *Vi) PostSend(ctx *Ctx, d *Descriptor) error {
 		v.nic.PostedSends++
 	}
 	v.sendQ.post(d)
+	d.span = sp
 	v.nic.ring(v, d)
 	return nil
 }
