@@ -72,6 +72,7 @@ func main() {
 		benchOut     = flag.String("bench", "", "time sequential vs parallel and write the report to this JSON file (use with -quick for a fast pass)")
 		baseMs       = flag.Float64("bench-baseline-ms", 0, "earlier revision's sequential wall time in ms; with -bench, speedup is computed against it")
 		baseLabel    = flag.String("bench-baseline-label", "", "label describing the -bench-baseline-ms revision")
+		benchGate    = flag.String("bench-gate", "", "with -bench: fail if the dispatch speedup regresses >20% vs this committed bench report")
 		metricsOn    = flag.Bool("metrics", false, "print per-component simulation counters and embed them in -json output")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto); forces -parallel 1")
 		spanSample   = flag.Int("span-sample", 1, "with -metrics/-trace-out, record every Nth message's lifecycle span (1 = every message, 0 = disable)")
@@ -148,6 +149,11 @@ func main() {
 		if *baseMs > 0 {
 			b.SetBaseline(*baseLabel, *baseMs)
 		}
+		d, err := runner.BenchDispatch()
+		if err != nil {
+			fatal(err)
+		}
+		b.Dispatch = d
 		if err := b.Save(*benchOut); err != nil {
 			fatal(err)
 		}
@@ -158,7 +164,19 @@ func main() {
 		} else {
 			fmt.Printf("parallel speedup: %.2fx\n", b.Speedup)
 		}
+		fmt.Printf("dispatch (%s): goroutine %.0f ev/s, actor %.0f ev/s, speedup %.2fx\n",
+			d.Scenario, d.GoroutineEvPerSec, d.ActorEvPerSec, d.Speedup)
 		fmt.Printf("bench report saved to %s\n", *benchOut)
+		if *benchGate != "" {
+			base, err := runner.LoadSuiteBench(*benchGate)
+			if err != nil {
+				fatal(err)
+			}
+			if err := b.GateDispatch(base, 0.20); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("dispatch gate passed: %.2fx vs committed %.2fx\n", d.Speedup, base.Dispatch.Speedup)
+		}
 		return
 	}
 

@@ -14,7 +14,8 @@ import (
 // additionally bounds the sender pipeline (BWpipe).
 func bandwidth(cfg Config, size int, o XferOpts) (XferResult, error) {
 	o = o.normalized()
-	sys := via.NewSystem(cfg.Model, 2, cfg.Seed)
+	sys := via.NewSystemProc(cfg.Model, 2, cfg.Seed, cfg.ProcModel)
+	defer sys.Close()
 	cfg.instrument(sys)
 	res := XferResult{Size: size}
 	warm := cfg.Warmup

@@ -25,7 +25,8 @@ type NonDataCosts struct {
 // ConnectRequest and it returning; teardown is the client's Disconnect
 // call.
 func NonData(cfg Config) (NonDataCosts, error) {
-	sys := via.NewSystem(cfg.Model, 2, cfg.Seed)
+	sys := via.NewSystemProc(cfg.Model, 2, cfg.Seed, cfg.ProcModel)
+	defer sys.Close()
 	cfg.instrument(sys)
 	var out NonDataCosts
 	var runErr error
@@ -179,7 +180,8 @@ func memRegDereg(cfg Config, sizes []int, name string, dereg bool) (*bench.Serie
 	if reps < 1 {
 		reps = 1
 	}
-	sys := via.NewSystem(cfg.Model, 1, cfg.Seed)
+	sys := via.NewSystemProc(cfg.Model, 1, cfg.Seed, cfg.ProcModel)
+	defer sys.Close()
 	cfg.instrument(sys)
 	var runErr error
 	sys.Go(0, "memreg", func(ctx *via.Ctx) {

@@ -38,7 +38,8 @@ const xfaultGap = 250 * sim.Microsecond
 // terminates no matter what the plan drops, stalls or severs.
 func FaultRun(cfg Config, size, msgs int, rel via.ReliabilityLevel) (FaultOutcome, error) {
 	o := XferOpts{Reliability: rel}.normalized()
-	sys := via.NewSystem(cfg.Model, 2, cfg.Seed)
+	sys := via.NewSystemProc(cfg.Model, 2, cfg.Seed, cfg.ProcModel)
+	defer sys.Close()
 	cfg.instrument(sys)
 	var out FaultOutcome
 

@@ -33,7 +33,8 @@ func MPLatency(cfg Config, sizes []int, mpCfg mp.Config) (*bench.Series, error) 
 
 // mpPingPong runs one ping-pong measurement over the mp layer.
 func mpPingPong(cfg Config, size int, mpCfg mp.Config) (float64, error) {
-	sys := via.NewSystem(cfg.Model, 2, cfg.Seed)
+	sys := via.NewSystemProc(cfg.Model, 2, cfg.Seed, cfg.ProcModel)
+	defer sys.Close()
 	cfg.instrument(sys)
 	w := mp.NewWorld(sys, mpCfg)
 	total := cfg.Warmup + cfg.Iters
@@ -79,7 +80,8 @@ func mpPingPong(cfg Config, size int, mpCfg mp.Config) (float64, error) {
 
 // GPLatency measures put and get latency over the get/put layer.
 func GPLatency(cfg Config, size int) (putUs, getUs float64, err error) {
-	sys := via.NewSystem(cfg.Model, 2, cfg.Seed)
+	sys := via.NewSystemProc(cfg.Model, 2, cfg.Seed, cfg.ProcModel)
+	defer sys.Close()
 	cfg.instrument(sys)
 	f := getput.NewFabric(sys, getput.DefaultConfig())
 	var ready bool

@@ -132,7 +132,16 @@ type PacketInjector interface {
 type port struct {
 	up   *sim.Pipe // node -> switch
 	down *sim.Pipe // switch -> node
-	in   *sim.Queue
+	in   *sim.Queue[*Delivery]
+
+	// wire is the down link's in-flight FIFO: packets waiting for their
+	// delivery instant, consumed from wireHead. One standing engine event
+	// per port (armed, firing deliver) walks it instead of one event per
+	// packet — see Network.enqueue.
+	wire     []flight
+	wireHead int
+	armed    bool
+	deliver  func()
 
 	// Per-link traffic counters (wire payload bytes, like BytesSent).
 	txPkts, txBytes uint64
@@ -140,6 +149,12 @@ type port struct {
 
 	// Drops of packets this node transmitted, split by cause.
 	drops [dropCauses]uint64
+}
+
+// flight is one packet in a port's in-flight FIFO.
+type flight struct {
+	d  *Delivery
+	at sim.Time
 }
 
 // LinkStats is one attached link's traffic totals. Drops are attributed
@@ -194,11 +209,13 @@ func New(e *sim.Engine, n int, params Params) *Network {
 	}
 	nw := &Network{eng: e, params: params}
 	for i := 0; i < n; i++ {
-		nw.ports = append(nw.ports, &port{
+		p := &port{
 			up:   sim.NewPipe(e),
 			down: sim.NewPipe(e),
-			in:   sim.NewQueue(e),
-		})
+			in:   sim.NewQueue[*Delivery](e),
+		}
+		p.deliver = func() { nw.deliverNext(p) }
+		nw.ports = append(nw.ports, p)
 	}
 	return nw
 }
@@ -211,7 +228,7 @@ func (nw *Network) Nodes() int { return len(nw.ports) }
 
 // Inbox returns the delivery queue for node id. NIC receive engines block
 // on it.
-func (nw *Network) Inbox(id NodeID) *sim.Queue {
+func (nw *Network) Inbox(id NodeID) *sim.Queue[*Delivery] {
 	return nw.port(id).in
 }
 
@@ -331,14 +348,50 @@ func (nw *Network) Send(src, dst NodeID, size int, payload interface{}) sim.Time
 		deliverAt := rxDone.Add(nw.params.LinkLatency)
 		nw.SerTime += ser
 		nw.PropTime += 2*nw.params.LinkLatency + nw.params.SwitchLatency
-		nw.eng.At(deliverAt, func() {
-			nw.Delivered++
-			dp.rxPkts++
-			dp.rxBytes += uint64(dc.Size)
-			dp.in.Push(dc)
-		})
+		nw.enqueue(dp, dc, deliverAt)
 	}
 	return txDone
+}
+
+// enqueue appends the packet to dst's in-flight FIFO and arms the port's
+// delivery event if it is idle. Per-port delivery instants are monotonic
+// (the down link's Pipe hands out non-decreasing completion times), so a
+// FIFO walked by one standing event per port delivers every packet at
+// exactly the instant a per-packet event would — but an incast burst
+// keeps O(ports) events in the heap instead of O(in-flight packets),
+// so sifts stay shallow, and the preallocated per-port callback replaces
+// a fresh closure per packet.
+func (nw *Network) enqueue(dp *port, d *Delivery, at sim.Time) {
+	if n := len(dp.wire); n > dp.wireHead && at < dp.wire[n-1].at {
+		panic("fabric: per-port delivery instants not monotonic")
+	}
+	dp.wire = append(dp.wire, flight{d, at})
+	if !dp.armed {
+		dp.armed = true
+		nw.eng.At(at, dp.deliver)
+	}
+}
+
+// deliverNext fires at the head packet's delivery instant: it hands the
+// packet to the inbox and re-arms for the next one. The next event is
+// scheduled before the inbox push so that a same-instant follower keeps
+// its place ahead of any receiver wake the push schedules — the dispatch
+// order per-packet events produced.
+func (nw *Network) deliverNext(dp *port) {
+	f := dp.wire[dp.wireHead]
+	dp.wire[dp.wireHead] = flight{}
+	dp.wireHead++
+	if dp.wireHead == len(dp.wire) {
+		dp.wire = dp.wire[:0]
+		dp.wireHead = 0
+		dp.armed = false
+	} else {
+		nw.eng.At(dp.wire[dp.wireHead].at, dp.deliver)
+	}
+	nw.Delivered++
+	dp.rxPkts++
+	dp.rxBytes += uint64(f.d.Size)
+	dp.in.Push(f.d)
 }
 
 // drop records a dropped packet under its cause and recycles the delivery.

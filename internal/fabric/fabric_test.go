@@ -42,7 +42,7 @@ func TestEndToEndDeliveryTime(t *testing.T) {
 		}
 	})
 	e.Spawn("rx", func(p *sim.Proc) {
-		got = *nw.Inbox(1).Pop(p).(*Delivery)
+		got = *nw.Inbox(1).Pop(p)
 		arrival = p.Now()
 	})
 	e.MustRun()
@@ -111,7 +111,7 @@ func TestDropFilter(t *testing.T) {
 		nw.Send(0, 1, 100, "kept")
 	})
 	e.Spawn("rx", func(p *sim.Proc) {
-		d := nw.Inbox(1).Pop(p).(*Delivery)
+		d := nw.Inbox(1).Pop(p)
 		if d.Payload.(string) != "kept" {
 			t.Errorf("got dropped packet %v", d.Payload)
 		}
@@ -183,12 +183,12 @@ func TestDeliveryRecycling(t *testing.T) {
 	e.At(0, func() { nw.Send(0, 1, 100, "one") })
 	e.At(1000000, func() { nw.Send(0, 1, 100, "two") })
 	e.Spawn("rx", func(p *sim.Proc) {
-		first = nw.Inbox(1).Pop(p).(*Delivery)
+		first = nw.Inbox(1).Pop(p)
 		if first.Payload.(string) != "one" {
 			t.Errorf("first payload = %v", first.Payload)
 		}
 		nw.Recycle(first)
-		second = nw.Inbox(1).Pop(p).(*Delivery)
+		second = nw.Inbox(1).Pop(p)
 		if second.Payload.(string) != "two" {
 			t.Errorf("second payload = %v", second.Payload)
 		}

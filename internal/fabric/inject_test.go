@@ -109,7 +109,7 @@ func TestInjectedCorruptionDeliversMarked(t *testing.T) {
 	})
 	e.Spawn("rx", func(p *sim.Proc) {
 		for i := 0; i < 2; i++ {
-			got = append(got, nw.Inbox(1).Pop(p).(*Delivery))
+			got = append(got, nw.Inbox(1).Pop(p))
 		}
 	})
 	e.MustRun()
@@ -133,7 +133,7 @@ func TestInjectedDuplicationSharesPayload(t *testing.T) {
 	e.At(0, func() { nw.Send(0, 1, 100, "twice") })
 	e.Spawn("rx", func(p *sim.Proc) {
 		for i := 0; i < 2; i++ {
-			got = append(got, nw.Inbox(1).Pop(p).(*Delivery))
+			got = append(got, nw.Inbox(1).Pop(p))
 		}
 	})
 	e.MustRun()
@@ -192,7 +192,7 @@ func TestInjectorChainMergesVerdicts(t *testing.T) {
 	var arrival sim.Time
 	e.At(0, func() { nw.Send(0, 1, 1000, nil) })
 	e.Spawn("rx", func(p *sim.Proc) {
-		got = nw.Inbox(1).Pop(p).(*Delivery)
+		got = nw.Inbox(1).Pop(p)
 		arrival = p.Now()
 	})
 	e.MustRun()

@@ -1,0 +1,63 @@
+package results
+
+import (
+	"math"
+	"testing"
+
+	"vibe/internal/core"
+	"vibe/internal/metrics"
+	"vibe/internal/via"
+)
+
+// runRegistry regenerates the entire quick registry under one process
+// model, with metrics collection and full span sampling attached, and
+// returns the result set plus the aggregated metrics snapshot.
+func runRegistry(t *testing.T, pm via.ProcModel) (*Set, map[string]float64) {
+	t.Helper()
+	sc := core.DefaultScenario(true)
+	sc.ProcModel = pm
+	col := metrics.NewCollector()
+	sc.Instr = &core.Instr{Metrics: col, SpanSample: 1}
+	set := &Set{Label: "equivalence"}
+	for _, e := range core.Experiments() {
+		rep, err := e.Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		set.Experiments = append(set.Experiments, FromReport(e.ID, rep))
+	}
+	return set, col.Snapshot().Map()
+}
+
+// TestProcModelRegistryEquivalence is the suite-level half of the
+// zero-handoff contract: every experiment in the quick registry, run
+// once under the goroutine reference model and once under the event-loop
+// actor model, must produce byte-identical results (tolerance zero, not
+// epsilon) and byte-identical aggregated metrics — including the
+// span-derived latency histograms, whose quantiles are compared
+// bit-for-bit. Any divergence means an actor state machine is not a
+// faithful decomposition of its goroutine original.
+func TestProcModelRegistryEquivalence(t *testing.T) {
+	gset, gmet := runRegistry(t, via.ModelGoroutine)
+	aset, amet := runRegistry(t, via.ModelActor)
+
+	for _, d := range Compare(gset, aset, 0) {
+		t.Errorf("%s %s: goroutine %.17g != actor %.17g", d.Experiment, d.Where, d.Base, d.New)
+	}
+
+	for k, gv := range gmet {
+		av, ok := amet[k]
+		if !ok {
+			t.Errorf("metric %s only in goroutine model", k)
+			continue
+		}
+		if math.Float64bits(gv) != math.Float64bits(av) {
+			t.Errorf("metric %s: goroutine %v != actor %v", k, gv, av)
+		}
+	}
+	for k := range amet {
+		if _, ok := gmet[k]; !ok {
+			t.Errorf("metric %s only in actor model", k)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"vibe/internal/provider"
+	"vibe/internal/sim"
+	"vibe/internal/via"
+)
+
+// DispatchBench reports raw event-dispatch throughput on an incast
+// workload — N hosts streaming reliable RDMA writes at one receiver, so
+// the NIC engines, the fabric, and the acknowledgment protocol generate
+// virtually the whole event stream — under both process models. The two
+// simulations are verified byte-identical (same event count, same final
+// virtual instant) before timing, so the ratio is a pure measurement of
+// dispatch cost: what the zero-handoff actor core saves over goroutine
+// handoffs per hot-path event.
+//
+// RDMA writes are the purest hot-path workload the provider offers: the
+// target consumes no receive descriptors and wakes no application
+// process, and the senders bulk-post before reaping, so application
+// goroutines (identical in both models) park for almost the entire run.
+//
+// Events/sec is machine-dependent; the speedup ratio is what CI gates on.
+type DispatchBench struct {
+	Scenario          string  `json:"scenario"`
+	Senders           int     `json:"senders"`
+	Messages          int     `json:"messages"`
+	Size              int     `json:"size"`
+	Events            uint64  `json:"events"`
+	VirtualMs         float64 `json:"virtual_ms"`
+	GoroutineMs       float64 `json:"goroutine_ms"`
+	ActorMs           float64 `json:"actor_ms"`
+	GoroutineEvPerSec float64 `json:"goroutine_events_per_sec"`
+	ActorEvPerSec     float64 `json:"actor_events_per_sec"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// runIncast simulates the incast once: senders hosts each stream msgs
+// reliable RDMA writes of the given size at host 0. It returns the
+// engine's dispatched-event count and the final virtual time — the two
+// equivalence fingerprints — and fails on any descriptor error or leaked
+// process.
+func runIncast(pm via.ProcModel, senders, msgs, size int) (uint64, sim.Time, error) {
+	const timeout = 30 * sim.Second
+	sys := via.NewSystemProc(provider.CLAN(), senders+1, 1, pm)
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+		sys.Eng.Stop()
+	}
+	attrs := via.ViAttributes{Reliability: via.ReliableDelivery, EnableRdmaWrite: true}
+	// Each sender gets its own target window in host 0's sink region; the
+	// sink publishes the address segments once registration completes.
+	targets := make([]via.AddressSegment, senders+1)
+	published := false
+	for s := 1; s <= senders; s++ {
+		s := s
+		disc := fmt.Sprintf("in-%d", s)
+		sys.Go(0, "sink-"+disc, func(ctx *via.Ctx) {
+			nic := ctx.OpenNic()
+			vi, err := nic.CreateVi(ctx, attrs, nil, nil)
+			if err != nil {
+				fail(err)
+				return
+			}
+			buf := ctx.Malloc(size)
+			h, err := nic.RegisterMem(ctx, buf)
+			if err != nil {
+				fail(err)
+				return
+			}
+			targets[s] = via.AddressSegment{Addr: buf.Addr(), Handle: h}
+			if s == senders {
+				published = true // the last sink to register completes the exchange
+			}
+			req, err := nic.ConnectWait(ctx, disc, timeout)
+			if err != nil {
+				fail(fmt.Errorf("wait %s: %w", disc, err))
+				return
+			}
+			if err := req.Accept(ctx, vi); err != nil {
+				fail(fmt.Errorf("accept %s: %w", disc, err))
+			}
+			// No receive loop: RDMA writes land without consuming
+			// descriptors or waking anybody on this host.
+		})
+		sys.Go(s, "src-"+disc, func(ctx *via.Ctx) {
+			nic := ctx.OpenNic()
+			vi, err := nic.CreateVi(ctx, attrs, nil, nil)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if err := vi.ConnectRequest(ctx, 0, disc, timeout); err != nil {
+				fail(fmt.Errorf("connect %s: %w", disc, err))
+				return
+			}
+			for !published { // address exchange, as an application would do
+				ctx.Sleep(10 * sim.Microsecond)
+			}
+			buf := ctx.Malloc(size)
+			h, err := nic.RegisterMem(ctx, buf)
+			if err != nil {
+				fail(err)
+				return
+			}
+			// Post the whole stream up front (one descriptor per message,
+			// all over the same buffers), then reap completions. The source
+			// process parks after the burst; the NIC send engine, the wire,
+			// and the acknowledgment protocol generate virtually all
+			// remaining events.
+			remote := targets[s]
+			for i := 0; i < msgs; i++ {
+				d := &via.Descriptor{
+					Op:     via.OpRdmaWrite,
+					Segs:   []via.DataSegment{{Addr: buf.Addr(), Handle: h, Length: size}},
+					Remote: &remote,
+				}
+				if err := vi.PostSend(ctx, d); err != nil {
+					fail(fmt.Errorf("%s post %d: %w", disc, i, err))
+					return
+				}
+			}
+			for i := 0; i < msgs; i++ {
+				d, err := vi.SendWait(ctx, timeout)
+				if err != nil {
+					fail(fmt.Errorf("%s reap %d: %w", disc, i, err))
+					return
+				}
+				if d.Status != via.StatusSuccess {
+					fail(fmt.Errorf("%s write %d completed %v", disc, i, d.Status))
+					return
+				}
+			}
+		})
+	}
+	if err := sys.Run(); err != nil && runErr == nil {
+		runErr = err
+	}
+	ev, end := sys.Eng.EventsDispatched(), sys.Eng.Now()
+	if err := sys.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	return ev, end, runErr
+}
+
+// benchIncast times the incast under one model, best of reps runs, and
+// returns the fingerprints plus the best wall time. The garbage collector
+// is disabled during timed runs (with an explicit collection before each
+// rep): the bulk-posted descriptors keep thousands of objects live, and
+// GC assist time would otherwise dominate long streams equally in both
+// models, diluting the dispatch ratio the benchmark exists to measure.
+func benchIncast(pm via.ProcModel, senders, msgs, size, reps int) (uint64, sim.Time, time.Duration, error) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var ev uint64
+	var end sim.Time
+	var best time.Duration
+	for r := 0; r < reps; r++ {
+		runtime.GC()
+		start := time.Now()
+		e, t, err := runIncast(pm, senders, msgs, size)
+		wall := time.Since(start)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if r == 0 {
+			ev, end = e, t
+		} else if e != ev || t != end {
+			return 0, 0, 0, fmt.Errorf("runner: incast not deterministic: events %d vs %d, end %v vs %v", e, ev, t, end)
+		}
+		if r == 0 || wall < best {
+			best = wall
+		}
+	}
+	return ev, end, best, nil
+}
+
+// BenchDispatch measures dispatch throughput on the incast scenario in
+// both process models (best of five runs each), verifying the two are
+// byte-identical before comparing their wall clocks. One fixed workload,
+// quick enough for smoke runs (~1s): a larger incast would only deepen
+// the shared event backlog, and a smaller one times a region too short to
+// measure stably.
+func BenchDispatch() (*DispatchBench, error) {
+	senders, msgs, size := 16, 300, 64
+	const reps = 5
+	gev, gend, gwall, err := benchIncast(via.ModelGoroutine, senders, msgs, size, reps)
+	if err != nil {
+		return nil, fmt.Errorf("goroutine model: %w", err)
+	}
+	aev, aend, awall, err := benchIncast(via.ModelActor, senders, msgs, size, reps)
+	if err != nil {
+		return nil, fmt.Errorf("actor model: %w", err)
+	}
+	if gev != aev || gend != aend {
+		return nil, fmt.Errorf("runner: process models diverge: goroutine (%d events, end %v) vs actor (%d events, end %v)",
+			gev, gend, aev, aend)
+	}
+	b := &DispatchBench{
+		Scenario:    fmt.Sprintf("incast %d->1, %d x %dB reliable RDMA writes", senders, senders*msgs, size),
+		Senders:     senders,
+		Messages:    msgs,
+		Size:        size,
+		Events:      aev,
+		VirtualMs:   float64(aend) / 1e6,
+		GoroutineMs: ms(gwall),
+		ActorMs:     ms(awall),
+	}
+	if gwall > 0 {
+		b.GoroutineEvPerSec = float64(gev) / gwall.Seconds()
+	}
+	if awall > 0 {
+		b.ActorEvPerSec = float64(aev) / awall.Seconds()
+	}
+	if b.GoroutineEvPerSec > 0 {
+		b.Speedup = b.ActorEvPerSec / b.GoroutineEvPerSec
+	}
+	return b, nil
+}

@@ -1,0 +1,49 @@
+package runner
+
+import (
+	"testing"
+
+	"vibe/internal/via"
+)
+
+// TestIncastModelsAgree runs a small incast under both process models and
+// requires the equivalence fingerprints to match exactly. This is the
+// benchmark's own precondition, kept under test so a drift in either model
+// (or in the workload) fails here rather than inside a CI bench run.
+func TestIncastModelsAgree(t *testing.T) {
+	const senders, msgs, size = 4, 40, 64
+	gev, gend, err := runIncast(via.ModelGoroutine, senders, msgs, size)
+	if err != nil {
+		t.Fatalf("goroutine model: %v", err)
+	}
+	aev, aend, err := runIncast(via.ModelActor, senders, msgs, size)
+	if err != nil {
+		t.Fatalf("actor model: %v", err)
+	}
+	if gev != aev || gend != aend {
+		t.Fatalf("models diverge: goroutine (%d events, end %v) vs actor (%d events, end %v)",
+			gev, gend, aev, aend)
+	}
+	if aev == 0 {
+		t.Fatal("incast dispatched no events")
+	}
+}
+
+// TestBenchDispatchSmoke exercises the full quick benchmark path — both
+// models, determinism check across reps, ratio computation — without
+// asserting a particular speedup (wall-clock ratios are not stable enough
+// for a unit test; the CI bench job gates the recorded number instead).
+func TestBenchDispatchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark smoke is not short")
+	}
+	b, err := BenchDispatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Events == 0 || b.Speedup <= 0 || b.GoroutineEvPerSec <= 0 || b.ActorEvPerSec <= 0 {
+		t.Fatalf("degenerate bench result: %+v", b)
+	}
+	t.Logf("dispatch: %d events, goroutine %.0f ev/s, actor %.0f ev/s, speedup %.2fx",
+		b.Events, b.GoroutineEvPerSec, b.ActorEvPerSec, b.Speedup)
+}

@@ -53,8 +53,8 @@ func BenchmarkProcYield(b *testing.B) {
 // exchange sits on.
 func BenchmarkPingPongHotPath(b *testing.B) {
 	e := NewEngine(1)
-	ping := NewQueue(e)
-	pong := NewQueue(e)
+	ping := NewQueue[int](e)
+	pong := NewQueue[int](e)
 	b.ReportAllocs()
 	b.ResetTimer()
 	e.Spawn("server", func(p *Proc) {
@@ -71,4 +71,53 @@ func BenchmarkPingPongHotPath(b *testing.B) {
 		}
 	})
 	e.MustRun()
+}
+
+// benchMachine is the minimal two-segment consumer: one sleep per item,
+// then done — the shape of a NIC engine transition.
+type benchMachine struct{}
+
+func (benchMachine) Begin(int) (Duration, int) { return 1, 0 }
+func (benchMachine) Step(int) (Duration, int)  { return 0, StepDone }
+
+// BenchmarkActorStep measures one served-machine item cycle — pump or
+// continuation event, Begin, continuation event, Step — entirely on the
+// event loop. Compare with BenchmarkServeProcStep: the delta is the cost
+// of the goroutine handoffs the actor model eliminates.
+func BenchmarkActorStep(b *testing.B) {
+	e := NewEngine(1)
+	q := NewQueue[int](e)
+	q.Serve(benchMachine{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		if i%64 == 63 {
+			e.MustRun()
+		}
+	}
+	e.MustRun()
+}
+
+// BenchmarkServeProcStep is BenchmarkActorStep with the same machine
+// driven by a goroutine process: each transition is a real Sleep, each
+// wake a control transfer into and out of the consumer goroutine.
+func BenchmarkServeProcStep(b *testing.B) {
+	e := NewEngine(1)
+	q := NewQueue[int](e)
+	e.Spawn("svc", func(p *Proc) {
+		p.SetDaemon(true)
+		q.ServeProc(p, benchMachine{})
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		if i%64 == 63 {
+			e.MustRun()
+		}
+	}
+	e.MustRun()
+	b.StopTimer()
+	e.Shutdown()
 }

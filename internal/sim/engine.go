@@ -23,12 +23,29 @@ type Engine struct {
 
 	live    int // number of spawned processes that have not finished
 	blocked int // processes parked on a Signal/Queue/Resource (no wake event pending)
+	parked  int // processes (daemons included) parked with no wake pending
+
+	// procs registers every spawned process so Shutdown can unwind the
+	// ones still parked and CheckLeaks can name them. Dead entries are
+	// compacted amortizedly on registration.
+	procs []*Proc
+
+	// idleWorkers holds goroutines whose process function has returned,
+	// parked for reuse by a later Spawn: spawn-heavy paths (completion
+	// notify handlers) stop paying goroutine creation. Invisible to the
+	// simulation — reuse changes no event, time, or sequence number.
+	idleWorkers []*worker
+
+	// killAck serializes Shutdown: each killed goroutine sends one token
+	// as it exits, so teardown is synchronous and leak-free.
+	killAck chan struct{}
 
 	// dispatched counts events popped and executed, for the metrics layer.
 	dispatched uint64
 
-	stopped bool
-	tracer  Tracer
+	stopped  bool
+	shutdown bool
+	tracer   Tracer
 }
 
 // Tracer receives a line for every traced simulation event. A nil tracer
@@ -42,9 +59,10 @@ type Tracer interface {
 // injection); runs with equal seeds are identical.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		rng:    rand.New(rand.NewSource(seed)),
-		toMain: make(chan struct{}, 1),
-		events: eventQueue{a: make([]event, 0, 256)},
+		rng:     rand.New(rand.NewSource(seed)),
+		toMain:  make(chan struct{}, 1),
+		killAck: make(chan struct{}),
+		events:  eventQueue{a: make([]event, 0, 256)},
 	}
 }
 
@@ -107,6 +125,32 @@ func (e *Engine) After(d Duration, fn func()) {
 	e.At(e.now.Add(d), fn)
 }
 
+// timer tracks a cancellable event's heap slot. i is maintained by the
+// heap's sifts; -1 means fired, cancelled, or never scheduled.
+type timer struct{ i int }
+
+// atTimer schedules fn at instant t as a cancellable event: cancelTimer
+// removes it from the heap before it fires. Timeout waits use this so an
+// abandoned deadline (the common case — most waits are woken, not timed
+// out) does not linger in the heap until its instant arrives, deepening
+// every sift and stretching the simulated run out to the last deadline.
+func (e *Engine) atTimer(t Time, fn func(), tm *timer) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling timer at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, fn: fn, tm: tm})
+}
+
+// cancelTimer removes a pending timer event. Cancelling an already fired
+// (or cancelled) timer is a no-op.
+func (e *Engine) cancelTimer(tm *timer) {
+	if tm.i >= 0 {
+		e.events.removeAt(tm.i)
+		tm.i = -1
+	}
+}
+
 // atWake schedules process p to resume at instant t. It is the closure-free
 // equivalent of At(t, p.wake).
 func (e *Engine) atWake(t Time, p *Proc) {
@@ -146,10 +190,20 @@ func (e *Engine) dispatch(self *Proc, fromMain bool) bool {
 		ev := e.events.pop()
 		e.dispatched++
 		e.now = ev.at
+		if ev.tm != nil {
+			ev.tm.i = -1 // fired: cancellation is a no-op from here on
+		}
+		if ev.svc != nil {
+			// Continuation event: the machine segment runs inline, control
+			// never leaves this goroutine (see actor.go).
+			ev.svc.step(ev.pc)
+			continue
+		}
 		if ev.p != nil {
 			p := ev.p
 			if ev.begin != nil {
-				go p.run(ev.begin)
+				p.started = true
+				e.startProc(p, ev.begin)
 				return false
 			}
 			if p.dead {
@@ -196,4 +250,67 @@ func (e *Engine) MustRun() {
 	if err := e.Run(); err != nil {
 		panic(err)
 	}
+}
+
+// CheckLeaks verifies that the simulation wound down cleanly after Run:
+// no events pending and every live process parked on a Signal/Queue (a
+// daemon loop or a blocked waiter) rather than runnable. A live process
+// that is neither parked nor waiting on a scheduled wake is a goroutine
+// the simulation lost track of. After Stop the check is vacuous (pending
+// events and mid-sleep processes were deliberately abandoned), so it
+// reports nil.
+func (e *Engine) CheckLeaks() error {
+	if e.stopped {
+		return nil
+	}
+	if n := len(e.events.a); n > 0 {
+		return fmt.Errorf("sim: %d event(s) still pending after Run", n)
+	}
+	if e.live == e.parked {
+		return nil
+	}
+	var stray []string
+	for _, p := range e.procs {
+		if p != nil && !p.dead && !p.parked {
+			stray = append(stray, p.name)
+		}
+	}
+	return fmt.Errorf("sim: %d live process(es) not parked after Run: %v", e.live-e.parked, stray)
+}
+
+// Shutdown terminates the engine: every parked process goroutine and
+// every pooled idle worker is unwound synchronously, so no goroutine
+// outlives the simulation. The engine must be idle (between Runs); after
+// Shutdown it must not be used again.
+func (e *Engine) Shutdown() {
+	if e.shutdown {
+		return
+	}
+	e.shutdown = true
+	e.stopped = true
+	for _, p := range e.procs {
+		if p == nil || p.dead {
+			continue
+		}
+		if !p.started {
+			// The begin event never dispatched (Stop discarded it): there
+			// is no goroutine to unwind.
+			p.dead = true
+			e.live--
+			continue
+		}
+		// The goroutine is blocked in <-p.resume (parked, or mid-sleep with
+		// its wake event discarded by Stop). Wake it into the kill path and
+		// wait for the goroutine to acknowledge its exit.
+		p.killed = true
+		p.resume <- struct{}{}
+		<-e.killAck
+	}
+	e.procs = nil
+	for _, w := range e.idleWorkers {
+		w.killed = true
+		w.wake <- struct{}{}
+		<-e.killAck
+	}
+	e.idleWorkers = nil
 }

@@ -202,11 +202,11 @@ func TestSignalTimeoutThenSignalDoesNotDoubleWake(t *testing.T) {
 
 func TestQueueFIFO(t *testing.T) {
 	e := NewEngine(1)
-	q := NewQueue(e)
+	q := NewQueue[int](e)
 	var got []int
 	e.Spawn("consumer", func(p *Proc) {
 		for i := 0; i < 3; i++ {
-			got = append(got, q.Pop(p).(int))
+			got = append(got, q.Pop(p))
 		}
 	})
 	e.Spawn("producer", func(p *Proc) {
@@ -225,7 +225,7 @@ func TestQueueFIFO(t *testing.T) {
 
 func TestQueuePopTimeout(t *testing.T) {
 	e := NewEngine(1)
-	q := NewQueue(e)
+	q := NewQueue[int](e)
 	var ok1, ok2 bool
 	e.Spawn("c", func(p *Proc) {
 		_, ok1 = q.PopTimeout(p, 5)
@@ -233,7 +233,7 @@ func TestQueuePopTimeout(t *testing.T) {
 	})
 	e.Spawn("prod", func(p *Proc) {
 		p.Sleep(20)
-		q.Push("x")
+		q.Push(1)
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -248,13 +248,13 @@ func TestQueuePopTimeout(t *testing.T) {
 
 func TestQueueTryPop(t *testing.T) {
 	e := NewEngine(1)
-	q := NewQueue(e)
+	q := NewQueue[int](e)
 	if _, ok := q.TryPop(); ok {
 		t.Fatal("TryPop on empty queue succeeded")
 	}
 	q.Push(7)
 	v, ok := q.TryPop()
-	if !ok || v.(int) != 7 {
+	if !ok || v != 7 {
 		t.Fatalf("TryPop = %v,%v", v, ok)
 	}
 	if q.Len() != 0 {
@@ -332,7 +332,7 @@ func TestDeadlockDetection(t *testing.T) {
 
 func TestDaemonDoesNotDeadlock(t *testing.T) {
 	e := NewEngine(1)
-	q := NewQueue(e)
+	q := NewQueue[int](e)
 	served := 0
 	e.Spawn("daemon", func(p *Proc) {
 		p.SetDaemon(true)
@@ -343,7 +343,7 @@ func TestDaemonDoesNotDeadlock(t *testing.T) {
 	})
 	e.Spawn("client", func(p *Proc) {
 		p.Sleep(10)
-		q.Push("job")
+		q.Push(1)
 		p.Sleep(10)
 	})
 	if err := e.Run(); err != nil {
@@ -380,7 +380,7 @@ func TestStop(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	run := func() []string {
 		e := NewEngine(42)
-		q := NewQueue(e)
+		q := NewQueue[int](e)
 		var got []string
 		for i := 0; i < 4; i++ {
 			i := i

@@ -14,12 +14,25 @@ package sim
 // Wake and start events carry the target process directly instead of a
 // closure, which removes the per-yield allocation the old
 // `After(0, p.wake)` pattern paid on every blocking primitive.
+//
+// Continuation events (svc != nil) are the state-machine analogue of a
+// wake: they resume a queue-bound Machine at state pc without any
+// goroutine handoff (see actor.go). Like wakes, they are closure-free.
 type event struct {
 	at    Time
 	seq   uint64
 	fn    func()
 	p     *Proc
 	begin func(*Proc)
+	svc   stepper
+	pc    int
+
+	// tm, when non-nil, makes the event cancellable: the heap keeps tm.i
+	// pointing at the event's current slot so cancelTimer can remove it
+	// outright (see Engine.atTimer). Removal beats tombstoning here
+	// because abandoned timeouts otherwise pile up for their full
+	// duration and deepen every sift in the meantime.
+	tm *timer
 }
 
 // eventQueue is a 4-ary min-heap of events ordered by (at, seq). Events are
@@ -54,9 +67,15 @@ func (q *eventQueue) push(ev event) {
 			break
 		}
 		a[i] = a[parent]
+		if t := a[i].tm; t != nil {
+			t.i = i
+		}
 		i = parent
 	}
 	a[i] = ev
+	if t := ev.tm; t != nil {
+		t.i = i
+	}
 	q.a = a
 }
 
@@ -90,9 +109,71 @@ func (q *eventQueue) pop() event {
 				break
 			}
 			a[i] = a[m]
+			if t := a[i].tm; t != nil {
+				t.i = i
+			}
 			i = m
 		}
 		a[i] = last
+		if t := last.tm; t != nil {
+			t.i = i
+		}
 	}
 	return top
+}
+
+// removeAt deletes the event at heap index i, restoring the heap
+// property. Dispatch order of the remaining events is untouched: pops
+// select the (at, seq) minimum, which the internal layout cannot change.
+func (q *eventQueue) removeAt(i int) {
+	a := q.a
+	n := len(a) - 1
+	last := a[n]
+	a[n] = event{}
+	q.a = a[:n]
+	a = q.a
+	if i == n {
+		return
+	}
+	// Re-seat `last` at the vacated slot: sift up if it beats the
+	// parent, otherwise sift down.
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !evBefore(&last, &a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		if t := a[i].tm; t != nil {
+			t.i = i
+		}
+		i = parent
+	}
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if evBefore(&a[j], &a[m]) {
+				m = j
+			}
+		}
+		if !evBefore(&a[m], &last) {
+			break
+		}
+		a[i] = a[m]
+		if t := a[i].tm; t != nil {
+			t.i = i
+		}
+		i = m
+	}
+	a[i] = last
+	if t := last.tm; t != nil {
+		t.i = i
+	}
 }

@@ -7,6 +7,7 @@ type waiter struct {
 	p        *Proc
 	woken    bool
 	timedOut bool
+	tm       timer // heap slot of the timeout event, for cancellation
 }
 
 // Signal is a broadcast/wake-one condition. Waiters park until another
@@ -29,20 +30,29 @@ func (s *Signal) Wait(p *Proc) {
 }
 
 // WaitTimeout parks the calling process until the next Signal/Broadcast or
-// until d elapses. It reports false if the wait timed out.
+// until d elapses. It reports false if the wait timed out. A wait that is
+// signalled in time cancels its deadline event outright, so abandoned
+// timeouts never accumulate in the heap (a simulation full of generous
+// deadlines — every blocking VIPL call arms one — would otherwise carry
+// thousands of dead events and run on to the last deadline).
 func (s *Signal) WaitTimeout(p *Proc, d Duration) bool {
 	w := &waiter{p: p}
 	s.waiters = append(s.waiters, w)
-	p.eng.After(d, func() {
+	p.eng.atTimer(p.eng.now.Add(d), func() {
 		if w.woken {
+			// A same-instant Signal dispatched first (it marked w woken and
+			// scheduled the wake); the deadline loses the tie.
 			return
 		}
 		w.woken = true
 		w.timedOut = true
 		s.remove(w)
 		p.scheduleWake()
-	})
+	}, &w.tm)
 	p.parkBlocked()
+	if !w.timedOut {
+		p.eng.cancelTimer(&w.tm)
+	}
 	return !w.timedOut
 }
 

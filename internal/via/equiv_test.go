@@ -1,0 +1,117 @@
+package via
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"vibe/internal/fault"
+	"vibe/internal/provider"
+	"vibe/internal/sim"
+)
+
+// fingerprint captures everything observable about one finished
+// simulation: the virtual instant it ended at, the engine's dispatched
+// event count, the full metrics snapshot, and the span accounting. Two
+// runs with equal fingerprints are indistinguishable to every consumer
+// of the simulation.
+type fingerprint struct {
+	end     sim.Time
+	events  uint64
+	metrics map[string]float64
+
+	opened, closed, doubles uint64
+}
+
+// runFingerprint drives the span workload under the given process model
+// and returns the run's fingerprint. It also closes the system, so every
+// equivalence run doubles as a goroutine-leak check for its model.
+func runFingerprint(t *testing.T, pm ProcModel, m *provider.Model, seed int64, plan *fault.Plan, msgs, size int) fingerprint {
+	t.Helper()
+	sys := NewSystemProc(m, 2, seed, pm)
+	if plan != nil {
+		sys.InstallFaults(plan)
+	}
+	sys.EnableSpans(1)
+	runSpanWorkload(t, sys, msgs, size)
+	fp := fingerprint{
+		end:     sys.Eng.Now(),
+		events:  sys.Eng.EventsDispatched(),
+		metrics: sys.CollectMetrics().Map(),
+	}
+	fp.opened, fp.closed, fp.doubles = sys.SpanStats()
+	if err := sys.Close(); err != nil {
+		t.Errorf("%v model leaked: %v", pm, err)
+	}
+	return fp
+}
+
+// sameBits reports bit-exact float equality (NaN equals NaN), the
+// comparison byte-identical JSON output reduces to.
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func diffFingerprints(t *testing.T, label string, g, a fingerprint) {
+	t.Helper()
+	if g.end != a.end {
+		t.Errorf("%s: end time goroutine=%v actor=%v", label, g.end, a.end)
+	}
+	if g.events != a.events {
+		t.Errorf("%s: events dispatched goroutine=%d actor=%d", label, g.events, a.events)
+	}
+	if g.opened != a.opened || g.closed != a.closed || g.doubles != a.doubles {
+		t.Errorf("%s: spans goroutine=(%d,%d,%d) actor=(%d,%d,%d)",
+			label, g.opened, g.closed, g.doubles, a.opened, a.closed, a.doubles)
+	}
+	for k, gv := range g.metrics {
+		av, ok := a.metrics[k]
+		if !ok {
+			t.Errorf("%s: metric %s only in goroutine model", label, k)
+			continue
+		}
+		if !sameBits(gv, av) {
+			t.Errorf("%s: metric %s goroutine=%v actor=%v", label, k, gv, av)
+		}
+	}
+	for k := range a.metrics {
+		if _, ok := g.metrics[k]; !ok {
+			t.Errorf("%s: metric %s only in actor model", label, k)
+		}
+	}
+}
+
+// TestProcModelEquivalenceClean checks the tentpole contract on the
+// fault-free path for every provider model: the zero-handoff actor core
+// and the goroutine reference produce byte-identical simulations — same
+// final virtual time, same dispatched-event count, same metrics, same
+// span accounting — and neither leaks processes at teardown.
+func TestProcModelEquivalenceClean(t *testing.T) {
+	for _, m := range provider.All() {
+		t.Run(m.Name, func(t *testing.T) {
+			g := runFingerprint(t, ModelGoroutine, m, 1, nil, 12, 4096)
+			a := runFingerprint(t, ModelActor, m, 1, nil, 12, 4096)
+			diffFingerprints(t, m.Name, g, a)
+		})
+	}
+}
+
+// TestProcModelEquivalenceFaults is the adversarial version: 24 seeded
+// random fault plans — drops, duplicates, corruption, delays, doorbell
+// and DMA stalls, broken connections, retransmission storms — each run
+// under both process models. Faults exercise every conditional branch of
+// the engine state machines (the stall fall-throughs, the duplicate and
+// gap paths, the error-ack chain), so surviving this sweep pins the
+// decomposition, not just the happy path.
+func TestProcModelEquivalenceFaults(t *testing.T) {
+	const plans = 24
+	for seed := 0; seed < plans; seed++ {
+		t.Run(strconv.Itoa(seed), func(t *testing.T) {
+			plan := fault.RandomPlan(int64(seed))
+			g := runFingerprint(t, ModelGoroutine, provider.CLAN(), int64(seed)+1, plan, 12, 1200)
+			plan = fault.RandomPlan(int64(seed)) // fresh plan state for the second run
+			a := runFingerprint(t, ModelActor, provider.CLAN(), int64(seed)+1, plan, 12, 1200)
+			diffFingerprints(t, "plan "+strconv.Itoa(seed), g, a)
+		})
+	}
+}

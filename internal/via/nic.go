@@ -25,7 +25,7 @@ type Nic struct {
 	// doorbells carries send work notifications from the host to the NIC
 	// send engine. Rung doorbells are recycled through dbFree so steady
 	//-state posting does not allocate.
-	doorbells *sim.Queue
+	doorbells *sim.Queue[*doorbell]
 	dbFree    []*doorbell
 
 	// Connection management state (see conn.go).
@@ -152,21 +152,36 @@ func newNic(h *Host) *Nic {
 		model:       m,
 		vis:         make(map[int]*Vi),
 		regions:     make(map[MemHandle]*region),
-		doorbells:   sim.NewQueue(h.sys.Eng),
+		doorbells:   sim.NewQueue[*doorbell](h.sys.Eng),
 		connArrived: sim.NewSignal(h.sys.Eng),
 	}
 	if m.TranslationAt == provider.TranslateAtNIC && m.TablesAt == provider.TablesInHostMemory {
 		n.tlb = nicsim.NewTLB(m.TLBCapacity, m.TLBPolicy)
 	}
 	eng := h.sys.Eng
-	eng.Spawn(procName(h, "nic-send"), func(p *sim.Proc) {
-		p.SetDaemon(true)
-		n.sendEngine(p)
-	})
-	eng.Spawn(procName(h, "nic-recv"), func(p *sim.Proc) {
-		p.SetDaemon(true)
-		n.recvEngine(p)
-	})
+	inbox := h.sys.Net.Inbox(h.id)
+	if h.sys.pm == ModelGoroutine {
+		// Reference model: each engine is a daemon process driving its
+		// machine through blocking Pops and Sleeps.
+		eng.Spawn(procName(h, "nic-send"), func(p *sim.Proc) {
+			p.SetDaemon(true)
+			n.doorbells.ServeProc(p, &sendMachine{n: n})
+		})
+		eng.Spawn(procName(h, "nic-recv"), func(p *sim.Proc) {
+			p.SetDaemon(true)
+			inbox.ServeProc(p, &recvMachine{n: n})
+		})
+		return n
+	}
+	// Zero-handoff model: the same machines run as event-loop services.
+	// The two inert anchor events sit exactly where the goroutine model's
+	// two process-start events would, keeping the engines' event sequence
+	// numbers — and therefore every downstream (time, seq) tie-break —
+	// identical between the models.
+	eng.At(eng.Now(), func() {})
+	eng.At(eng.Now(), func() {})
+	n.doorbells.Serve(&sendMachine{n: n})
+	inbox.Serve(&recvMachine{n: n})
 	return n
 }
 
