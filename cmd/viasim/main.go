@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"vibe/internal/fabric"
 	"vibe/internal/provider"
 	"vibe/internal/sim"
 	"vibe/internal/table"
@@ -24,11 +25,15 @@ import (
 
 func main() {
 	var (
-		prov    = flag.String("provider", "clan", "provider model: mvia, bvia, clan, firmvia, iba")
-		dump    = flag.Bool("dump", false, "dump the provider cost model")
-		ping    = flag.Bool("ping", false, "run a single ping-pong")
-		size    = flag.Int("size", 64, "ping message size")
-		doTrace = flag.Bool("trace", false, "print the event trace of the ping")
+		prov      = flag.String("provider", "clan", "provider model: mvia, bvia, clan, firmvia, iba")
+		dump      = flag.Bool("dump", false, "dump the provider cost model")
+		ping      = flag.Bool("ping", false, "run a single ping-pong")
+		size      = flag.Int("size", 64, "ping message size")
+		doTrace   = flag.Bool("trace", false, "print the event trace of the ping")
+		topo      = flag.String("topo", "", "fabric topology: crossbar, fattree, dragonfly, torus3d (default: the model's)")
+		degree    = flag.Int("degree", 0, "topology host-attachment degree (0 = topology default)")
+		switchBuf = flag.Int("switchbuf", 0, "switch output buffer in packets (0 = unbounded)")
+		nodes     = flag.Int("nodes", 2, "hosts in the simulated cluster; ping runs host 0 <-> host nodes-1")
 	)
 	flag.Parse()
 
@@ -36,23 +41,43 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *topo != "" {
+		m.Network.Topology = *topo
+	}
+	if *degree > 0 {
+		m.Network.TopologyDegree = *degree
+	}
+	if *switchBuf > 0 {
+		m.Network.SwitchBufPkts = *switchBuf
+	}
+	if *nodes < 2 {
+		fatal(fmt.Errorf("-nodes must be at least 2"))
+	}
 	if !*dump && !*ping {
 		*dump = true
 	}
 	if *dump {
-		dumpModel(m)
+		dumpModel(m, *nodes)
 	}
 	if *ping {
-		runPing(m, *size, *doTrace)
+		runPing(m, *nodes, *size, *doTrace)
 	}
 }
 
-func dumpModel(m *provider.Model) {
+func dumpModel(m *provider.Model, nodes int) {
 	t := table.New(fmt.Sprintf("provider %q cost model", m.Name), "parameter", "value")
 	t.AddRow("network", m.Network.Name)
 	t.AddRow("bandwidth (Gb/s)", m.Network.BandwidthBps/1e9)
 	t.AddRow("link latency", m.Network.LinkLatency.String())
 	t.AddRow("switch latency", m.Network.SwitchLatency.String())
+	topo := fabric.BuildTopology(m.Network, nodes)
+	t.AddRow("topology", topo.Name())
+	t.AddRow(fmt.Sprintf("switches (%d hosts)", nodes), topo.Switches())
+	if m.Network.SwitchBufPkts > 0 {
+		t.AddRow("switch buffer (pkts)", m.Network.SwitchBufPkts)
+	} else {
+		t.AddRow("switch buffer (pkts)", "unbounded")
+	}
 	t.AddRow("wire MTU (bytes)", m.WireMTU)
 	t.AddRow("max transfer (bytes)", m.MaxTransferSize)
 	t.AddRow("max segments", m.MaxSegments)
@@ -81,13 +106,14 @@ func dumpModel(m *provider.Model) {
 	t.Render(os.Stdout)
 }
 
-func runPing(m *provider.Model, size int, doTrace bool) {
-	sys := via.NewSystem(m, 2, 1)
+func runPing(m *provider.Model, nodes, size int, doTrace bool) {
+	sys := via.NewSystem(m, nodes, 1)
 	rec := &trace.Recorder{Limit: 10000}
 	if doTrace {
 		sys.Eng.SetTracer(rec)
 	}
 	tmo := 10 * sim.Second
+	peer := fabric.NodeID(nodes - 1)
 	var rtt sim.Duration
 
 	sys.Go(0, "ping", func(ctx *via.Ctx) {
@@ -96,7 +122,7 @@ func runPing(m *provider.Model, size int, doTrace bool) {
 		if err != nil {
 			fatal(err)
 		}
-		if err := vi.ConnectRequest(ctx, 1, "ping", tmo); err != nil {
+		if err := vi.ConnectRequest(ctx, peer, "ping", tmo); err != nil {
 			fatal(err)
 		}
 		buf := ctx.Malloc(size)
@@ -120,7 +146,7 @@ func runPing(m *provider.Model, size int, doTrace bool) {
 		}
 		rtt = ctx.Now().Sub(t0)
 	})
-	sys.Go(1, "pong", func(ctx *via.Ctx) {
+	sys.Go(int(peer), "pong", func(ctx *via.Ctx) {
 		nic := ctx.OpenNic()
 		vi, err := nic.CreateVi(ctx, via.ViAttributes{}, nil, nil)
 		if err != nil {

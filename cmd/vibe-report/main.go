@@ -154,6 +154,11 @@ func main() {
 			fatal(err)
 		}
 		b.Dispatch = d
+		dr, err := runner.BenchDispatchRouted()
+		if err != nil {
+			fatal(err)
+		}
+		b.DispatchRouted = dr
 		if err := b.Save(*benchOut); err != nil {
 			fatal(err)
 		}
@@ -166,6 +171,8 @@ func main() {
 		}
 		fmt.Printf("dispatch (%s): goroutine %.0f ev/s, actor %.0f ev/s, speedup %.2fx\n",
 			d.Scenario, d.GoroutineEvPerSec, d.ActorEvPerSec, d.Speedup)
+		fmt.Printf("dispatch (%s): goroutine %.0f ev/s, actor %.0f ev/s, speedup %.2fx\n",
+			dr.Scenario, dr.GoroutineEvPerSec, dr.ActorEvPerSec, dr.Speedup)
 		fmt.Printf("bench report saved to %s\n", *benchOut)
 		if *benchGate != "" {
 			base, err := runner.LoadSuiteBench(*benchGate)

@@ -1,7 +1,11 @@
 // Package fabric models the interconnect of the simulated cluster: hosts
-// attached through full-duplex links to a central crossbar switch, with
-// per-link bandwidth serialization, propagation latency, a switch
-// forwarding delay, and optional loss injection.
+// attached through full-duplex links to a switched fabric, with per-link
+// bandwidth serialization, propagation latency, per-switch forwarding
+// delay, finite output buffers with credit-based backpressure, and
+// optional loss injection. The default topology is a single crossbar
+// switch; fat-tree, dragonfly, and 3D-torus graphs route packets across
+// multiple switches, each hop serializing on its own output port so
+// congestion is emergent rather than modeled (see Topology).
 //
 // The fabric is deliberately protocol-agnostic: it moves opaque payloads of
 // a declared wire size between node inboxes. The NIC models in
@@ -10,6 +14,7 @@ package fabric
 
 import (
 	"fmt"
+	"math"
 
 	"vibe/internal/sim"
 )
@@ -23,14 +28,15 @@ type NodeID int
 type Params struct {
 	Name string
 
-	// BandwidthBps is the link bandwidth in bits per second. Both link
-	// halves (host-switch, switch-host) run at this rate.
+	// BandwidthBps is the link bandwidth in bits per second. Every link
+	// (host-switch, switch-switch, switch-host) runs at this rate.
 	BandwidthBps float64
 
 	// LinkLatency is the propagation delay of one link hop.
 	LinkLatency sim.Duration
 
-	// SwitchLatency is the switch's store-and-forward/arbitration delay.
+	// SwitchLatency is a switch's store-and-forward/arbitration delay,
+	// paid once per switch traversed.
 	SwitchLatency sim.Duration
 
 	// FrameOverhead is the per-packet wire framing in bytes (headers,
@@ -41,6 +47,24 @@ type Params struct {
 	// Real SANs are nearly lossless; reliability benchmarks raise this to
 	// exercise retransmission.
 	DropRate float64
+
+	// Topology selects the switch graph: "" or "crossbar" (one central
+	// switch, the default), "fattree", "dragonfly", or "torus3d". See
+	// BuildTopology.
+	Topology string
+
+	// TopologyDegree is the host-attachment arity of routed topologies:
+	// hosts per leaf (and the spine count) for fattree, hosts per router
+	// for dragonfly, hosts per switch for torus3d. 0 picks the topology
+	// default.
+	TopologyDegree int
+
+	// SwitchBufPkts bounds every switch output port's queue, in packets.
+	// A full queue withholds transmit credit from the upstream stage, so
+	// congestion backpressures hop by hop all the way to the sending NIC
+	// (whose Send return value moves out accordingly). 0 means unbounded
+	// ideal switches — the crossbar baseline behavior.
+	SwitchBufPkts int
 }
 
 // SerializationTime reports how long a payload of n bytes occupies a link.
@@ -68,6 +92,10 @@ type Delivery struct {
 	// (fault-injected duplication). Receivers must not recycle shared
 	// payloads back into sender-owned free lists.
 	Shared bool
+
+	// recycled guards against double Recycle: set when the delivery is
+	// handed back, cleared when it is drawn again.
+	recycled bool
 }
 
 // DropFilter decides whether a particular packet should be lost. It runs
@@ -147,6 +175,11 @@ type port struct {
 	txPkts, txBytes uint64
 	rxPkts, rxBytes uint64
 
+	// rxCorrupt splits rxPkts: frames that arrived with a failed check
+	// and will be discarded by the receiving NIC, so consumed packets
+	// reconcile as rxPkts - rxCorrupt.
+	rxCorrupt uint64
+
 	// Drops of packets this node transmitted, split by cause.
 	drops [dropCauses]uint64
 }
@@ -159,9 +192,16 @@ type flight struct {
 
 // LinkStats is one attached link's traffic totals. Drops are attributed
 // to the transmitting link, split by cause; Dropped is their sum.
+// Delivered packets obey Sent - Dropped + Duplicated = Delivered when
+// summed across all links (per-port conservation).
 type LinkStats struct {
 	TxPackets, TxBytes uint64
 	RxPackets, RxBytes uint64
+
+	// RxCorrupt counts received frames whose check failed in flight; they
+	// are included in RxPackets/RxBytes (they cost wire time) but the NIC
+	// discards them before protocol processing.
+	RxCorrupt uint64
 
 	Dropped       uint64
 	DroppedFault  uint64 // injector chain (fault plans, link outages)
@@ -169,11 +209,108 @@ type LinkStats struct {
 	DroppedRate   uint64 // probabilistic Params.DropRate
 }
 
-// Network is a star topology: every node connects to one crossbar switch.
+// timeNever marks an output-queue slot as occupied while its release
+// instant is still being computed (the whole path resolves within one
+// Send call, so the sentinel never escapes).
+const timeNever = sim.Time(math.MaxInt64)
+
+// outPort is one switch output queue: the transmit pipe serializing onto
+// the outgoing link plus, when the fabric has finite buffers, a credit
+// ring of occupied-slot release instants.
+type outPort struct {
+	pipe *sim.Pipe
+
+	// rel holds the release instant of each occupied buffer slot;
+	// len(rel) == Params.SwitchBufPkts. nil means unbounded.
+	rel []sim.Time
+
+	txPkts, txBytes uint64
+
+	// Credit accounting: how often (and for how long) an upstream stage
+	// had to wait for a free slot in this queue, and the deepest
+	// occupancy an admission observed (finite buffers only).
+	creditStalls uint64
+	stallTime    sim.Duration
+	maxQueue     int
+}
+
+// claim reserves a buffer slot for a packet whose upstream transmit is
+// ready at the given instant. It returns the (possibly credit-delayed)
+// transmit start and the slot index to release once the packet has fully
+// left this queue. Unbounded queues grant immediately with slot -1.
+func (q *outPort) claim(ready sim.Time) (sim.Time, int) {
+	if q.rel == nil {
+		return ready, -1
+	}
+	best := 0
+	for i := 1; i < len(q.rel); i++ {
+		if q.rel[i] < q.rel[best] {
+			best = i
+		}
+	}
+	start := ready
+	if free := q.rel[best]; free > ready {
+		start = free
+		q.creditStalls++
+		q.stallTime += free.Sub(ready)
+	}
+	depth := 1
+	for _, r := range q.rel {
+		if r > start {
+			depth++
+		}
+	}
+	if depth > q.maxQueue {
+		q.maxQueue = depth
+	}
+	q.rel[best] = timeNever
+	return start, best
+}
+
+// release frees a claimed slot at the instant the packet finishes
+// transmitting out of the queue.
+func (q *outPort) release(slot int, at sim.Time) {
+	if slot >= 0 {
+		q.rel[slot] = at
+	}
+}
+
+// swNode is one switch: its output ports, created lazily as routes first
+// use them, keyed by next-hop switch (int(SwitchID)) or attached host
+// (Switches() + int(NodeID)).
+type swNode struct {
+	outs map[int]*outPort
+}
+
+// SwitchStats aggregates one switch's output-port activity.
+type SwitchStats struct {
+	Ports     int // output ports traffic has used
+	TxPackets uint64
+	TxBytes   uint64
+
+	// CreditStalls/StallTime: admissions that waited for a buffer slot in
+	// one of this switch's output queues, and their total wait.
+	CreditStalls uint64
+	StallTime    sim.Duration
+
+	// MaxQueue is the deepest output-queue occupancy observed (finite
+	// buffers only; 0 when SwitchBufPkts is unbounded).
+	MaxQueue int
+}
+
+// Network is the switched interconnect: hosts attached to a Topology of
+// switches (a single crossbar by default).
 type Network struct {
 	eng    *sim.Engine
 	params Params
 	ports  []*port
+
+	topo     Topology
+	switches []*swNode
+
+	// route/path are per-Send scratch (the engine is single-threaded).
+	route []SwitchID
+	path  []*outPort
 
 	dropFilter DropFilter
 	injectors  []PacketInjector
@@ -194,15 +331,16 @@ type Network struct {
 
 	droppedBy [dropCauses]uint64
 
-	// SerTime accumulates link occupancy spent serializing packets (both
-	// link halves); PropTime accumulates the propagation plus switch
+	// SerTime accumulates link occupancy spent serializing packets (every
+	// hop's link); PropTime accumulates the propagation plus switch
 	// latency of packets that were actually forwarded. Together they split
 	// wire time into the bandwidth-bound and distance-bound parts.
 	SerTime  sim.Duration
 	PropTime sim.Duration
 }
 
-// New creates a network with n nodes attached to e.
+// New creates a network with n nodes attached to e, on the topology
+// params selects (the single crossbar when unset).
 func New(e *sim.Engine, n int, params Params) *Network {
 	if n < 1 {
 		panic("fabric: need at least one node")
@@ -217,6 +355,11 @@ func New(e *sim.Engine, n int, params Params) *Network {
 		p.deliver = func() { nw.deliverNext(p) }
 		nw.ports = append(nw.ports, p)
 	}
+	nw.topo = BuildTopology(params, n)
+	nw.switches = make([]*swNode, nw.topo.Switches())
+	for i := range nw.switches {
+		nw.switches[i] = &swNode{outs: make(map[int]*outPort)}
+	}
 	return nw
 }
 
@@ -225,6 +368,12 @@ func (nw *Network) Params() Params { return nw.params }
 
 // Nodes reports the number of attached nodes.
 func (nw *Network) Nodes() int { return len(nw.ports) }
+
+// Topology returns the switch graph packets route over.
+func (nw *Network) Topology() Topology { return nw.topo }
+
+// Switches reports the number of switches in the topology.
+func (nw *Network) Switches() int { return len(nw.switches) }
 
 // Inbox returns the delivery queue for node id. NIC receive engines block
 // on it.
@@ -257,11 +406,60 @@ func (nw *Network) LinkStats(id NodeID) LinkStats {
 	return LinkStats{
 		TxPackets: p.txPkts, TxBytes: p.txBytes,
 		RxPackets: p.rxPkts, RxBytes: p.rxBytes,
+		RxCorrupt:     p.rxCorrupt,
 		Dropped:       p.drops[DropCauseFault] + p.drops[DropCauseFilter] + p.drops[DropCauseRate],
 		DroppedFault:  p.drops[DropCauseFault],
 		DroppedFilter: p.drops[DropCauseFilter],
 		DroppedRate:   p.drops[DropCauseRate],
 	}
+}
+
+// SwitchStats reports switch s's aggregated output-port activity.
+func (nw *Network) SwitchStats(s SwitchID) SwitchStats {
+	if int(s) < 0 || int(s) >= len(nw.switches) {
+		panic(fmt.Sprintf("fabric: no switch %d", s))
+	}
+	var st SwitchStats
+	sw := nw.switches[s]
+	st.Ports = len(sw.outs)
+	for _, q := range sw.outs {
+		st.TxPackets += q.txPkts
+		st.TxBytes += q.txBytes
+		st.CreditStalls += q.creditStalls
+		st.StallTime += q.stallTime
+		if q.maxQueue > st.MaxQueue {
+			st.MaxQueue = q.maxQueue
+		}
+	}
+	return st
+}
+
+// MaxQueueDepth reports the deepest switch output-queue occupancy seen
+// anywhere in the fabric (0 with unbounded buffers). With finite buffers
+// it can never exceed Params.SwitchBufPkts — backpressure, not buffering,
+// absorbs congestion.
+func (nw *Network) MaxQueueDepth() int {
+	max := 0
+	for _, sw := range nw.switches {
+		for _, q := range sw.outs {
+			if q.maxQueue > max {
+				max = q.maxQueue
+			}
+		}
+	}
+	return max
+}
+
+// CreditStalls reports the total number of times any fabric stage waited
+// for a downstream buffer slot.
+func (nw *Network) CreditStalls() uint64 {
+	var n uint64
+	for _, sw := range nw.switches {
+		for _, q := range sw.outs {
+			n += q.creditStalls
+		}
+	}
+	return n
 }
 
 func (nw *Network) port(id NodeID) *port {
@@ -271,12 +469,33 @@ func (nw *Network) port(id NodeID) *port {
 	return nw.ports[id]
 }
 
+// switchOut returns (creating on first use) switch s's output port under
+// the given key. Host-attachment ports transmit on the host's down pipe —
+// the same serializer the crossbar used — so per-host delivery ordering
+// and LinkStats are identical whatever graph sits upstream.
+func (nw *Network) switchOut(s SwitchID, key int, pipe *sim.Pipe) *outPort {
+	sw := nw.switches[s]
+	q := sw.outs[key]
+	if q == nil {
+		if pipe == nil {
+			pipe = sim.NewPipe(nw.eng)
+		}
+		q = &outPort{pipe: pipe}
+		if b := nw.params.SwitchBufPkts; b > 0 {
+			q.rel = make([]sim.Time, b)
+		}
+		sw.outs[key] = q
+	}
+	return q
+}
+
 // getDelivery draws a Delivery from the free list, allocating on miss.
 func (nw *Network) getDelivery() *Delivery {
 	if n := len(nw.delFree); n > 0 {
 		d := nw.delFree[n-1]
 		nw.delFree[n-1] = nil
 		nw.delFree = nw.delFree[:n-1]
+		d.recycled = false
 		return d
 	}
 	return &Delivery{}
@@ -284,23 +503,40 @@ func (nw *Network) getDelivery() *Delivery {
 
 // Recycle returns a delivery popped from an inbox to the network's free
 // list. The caller must not retain d (or read it again) afterwards.
+// Shared deliveries (aliased payloads from fault-injected duplication)
+// are cleared but never re-pooled: another copy holding the same payload
+// may still be in flight, and re-pooling the wrapper would let a fresh
+// packet alias it. Recycling the same delivery twice panics.
 func (nw *Network) Recycle(d *Delivery) {
-	*d = Delivery{}
+	if d.recycled {
+		panic("fabric: delivery recycled twice")
+	}
+	shared := d.Shared
+	*d = Delivery{recycled: true}
+	if shared {
+		return
+	}
 	nw.delFree = append(nw.delFree, d)
 }
 
-// Send injects a packet from src. It does not block the caller: link
-// occupancy is modeled with pipes and the delivery is scheduled as an
-// engine event. Send returns the instant the packet finishes serializing
-// onto the source link (when the sending NIC's transmitter is free again).
+// Send injects a packet from src toward dst. It does not block the
+// caller: link occupancy is modeled with pipes and the delivery is
+// scheduled as an engine event. Send returns the instant the packet
+// finishes serializing onto the source link (when the sending NIC's
+// transmitter is free again); with finite switch buffers that instant
+// includes any wait for a first-hop output credit, which is how fabric
+// congestion backpressures the sending NIC.
+//
+// Loopback (src == dst) is NIC-local: the frame serializes once through
+// the adapter's transmit path and is handed straight to its own receive
+// path — no switch traversal, no link propagation, no PropTime. Loopback
+// packets still run the injector chain and the loss checks.
 func (nw *Network) Send(src, dst NodeID, size int, payload interface{}) sim.Time {
-	sp, dp := nw.port(src), nw.port(dst)
+	sp := nw.port(src)
 	ser := nw.params.SerializationTime(size)
 
-	txDone := sp.up.Occupy(ser)
 	nw.Sent++
 	nw.BytesSent += uint64(size)
-	nw.SerTime += ser
 	sp.txPkts++
 	sp.txBytes += uint64(size)
 
@@ -309,18 +545,19 @@ func (nw *Network) Send(src, dst NodeID, size int, payload interface{}) sim.Time
 	d.Src, d.Dst, d.Size, d.Payload = src, dst, size, payload
 
 	// Fault chain first: an injected drop models a deliberate outage and
-	// pre-empts the (rng-consuming) random loss check.
+	// pre-empts the (rng-consuming) random loss check. Dropped packets
+	// still cost serialization time on the source link.
 	var f PacketFault
 	for _, inj := range nw.injectors {
 		f = f.merge(inj.InjectPacket(idx, nw.eng.Now(), d))
 	}
 	switch {
 	case f.Drop:
-		return nw.drop(sp, d, DropCauseFault, txDone)
+		return nw.drop(sp, d, DropCauseFault, ser)
 	case nw.dropFilter != nil && nw.dropFilter(idx, *d):
-		return nw.drop(sp, d, DropCauseFilter, txDone)
+		return nw.drop(sp, d, DropCauseFilter, ser)
 	case nw.params.DropRate > 0 && nw.eng.Rand().Float64() < nw.params.DropRate:
-		return nw.drop(sp, d, DropCauseRate, txDone)
+		return nw.drop(sp, d, DropCauseRate, ser)
 	}
 	if f.Corrupt {
 		d.Corrupted = true
@@ -332,25 +569,116 @@ func (nw *Network) Send(src, dst NodeID, size int, payload interface{}) sim.Time
 		d.Shared = true
 		nw.Duplicated += uint64(f.Duplicates)
 	}
+	if src == dst {
+		return nw.sendLocal(sp, d, ser, f.Delay, copies)
+	}
+	return nw.sendRouted(sp, d, ser, f.Delay, copies)
+}
 
-	// Store-and-forward: the switch begins forwarding after the whole
-	// packet has arrived (plus any injected delay), and the destination
-	// link serializes it again. Duplicate copies queue behind the
-	// original on the destination link.
-	atSwitch := txDone.Add(nw.params.LinkLatency).Add(nw.params.SwitchLatency).Add(f.Delay)
+// sendLocal is the loopback path: the frame occupies the node's transmit
+// serializer once and arrives back on the same node at that instant
+// (plus any injected delay). Delivery uses a dedicated event rather than
+// the down-link FIFO, whose instants it would interleave with
+// non-monotonically.
+func (nw *Network) sendLocal(sp *port, d *Delivery, ser, delay sim.Duration, copies int) sim.Time {
+	txDone := sp.up.Occupy(ser)
+	nw.SerTime += ser
+	at := txDone.Add(delay)
 	for c := 0; c < copies; c++ {
 		dc := d
 		if c > 0 {
 			dc = nw.getDelivery()
 			*dc = *d
 		}
-		rxDone := dp.down.OccupyFrom(atSwitch, ser)
-		deliverAt := rxDone.Add(nw.params.LinkLatency)
-		nw.SerTime += ser
-		nw.PropTime += 2*nw.params.LinkLatency + nw.params.SwitchLatency
-		nw.enqueue(dp, dc, deliverAt)
+		nw.eng.At(at, func() { nw.deliverNow(sp, dc) })
 	}
 	return txDone
+}
+
+// sendRouted carries a packet over its deterministic switch path with
+// per-hop store-and-forward: each stage begins transmitting once the
+// whole packet has arrived (link propagation plus switch delay behind
+// it), once its own transmitter is idle, and — with finite buffers —
+// once the downstream output queue grants a slot. A packet's slot in
+// each queue is released only when it has fully left that queue, so a
+// congested port stalls the whole upstream chain, emergently.
+func (nw *Network) sendRouted(sp *port, d *Delivery, ser, delay sim.Duration, copies int) sim.Time {
+	dp := nw.port(d.Dst)
+	route := nw.topo.Route(nw.route[:0], d.Src, d.Dst)
+	nw.route = route
+	hops := len(route)
+
+	// Resolve the output queue each switch transmits from: queue i
+	// forwards toward route[i+1], the last one toward the host.
+	path := nw.path[:0]
+	for i, s := range route {
+		if i+1 < hops {
+			path = append(path, nw.switchOut(s, int(route[i+1]), nil))
+		} else {
+			path = append(path, nw.switchOut(s, len(nw.switches)+int(d.Dst), dp.down))
+		}
+	}
+	nw.path = path
+
+	// Stage 0: the host NIC transmits into the first switch, gated by
+	// that switch's output credit. The injected delay lands at the first
+	// switch, like the crossbar's.
+	start, slot := path[0].claim(nw.eng.Now())
+	txDone := sp.up.OccupyFrom(start, ser)
+	nw.SerTime += ser
+	atFirst := txDone.Add(nw.params.LinkLatency).Add(nw.params.SwitchLatency).Add(delay)
+
+	prop := sim.Duration(hops+1)*nw.params.LinkLatency + sim.Duration(hops)*nw.params.SwitchLatency
+	heldQ, heldSlot := path[0], slot
+	for c := 0; c < copies; c++ {
+		dc := d
+		if c > 0 {
+			dc = nw.getDelivery()
+			*dc = *d
+			// A duplicate materializes inside the first switch: it holds
+			// no slot there (fault copies overcommit the buffer) and
+			// queues behind the original on every outgoing link.
+			heldQ, heldSlot = nil, -1
+		}
+		ready := atFirst
+		for i := 0; i < hops; i++ {
+			q := path[i]
+			start := ready
+			var nq *outPort
+			nslot := -1
+			if i+1 < hops {
+				nq = path[i+1]
+				start, nslot = nq.claim(ready)
+			}
+			out := q.pipe.OccupyFrom(start, ser)
+			q.txPkts++
+			q.txBytes += uint64(d.Size)
+			nw.SerTime += ser
+			if heldQ != nil {
+				heldQ.release(heldSlot, out)
+			}
+			heldQ, heldSlot = nq, nslot
+			ready = out.Add(nw.params.LinkLatency)
+			if i+1 < hops {
+				ready = ready.Add(nw.params.SwitchLatency)
+			}
+		}
+		nw.PropTime += prop
+		nw.enqueue(dp, dc, ready)
+	}
+	return txDone
+}
+
+// deliverNow hands one packet to a node's inbox with the fabric's
+// delivery accounting.
+func (nw *Network) deliverNow(p *port, d *Delivery) {
+	nw.Delivered++
+	p.rxPkts++
+	p.rxBytes += uint64(d.Size)
+	if d.Corrupted {
+		p.rxCorrupt++
+	}
+	p.in.Push(d)
 }
 
 // enqueue appends the packet to dst's in-flight FIFO and arms the port's
@@ -388,14 +716,15 @@ func (nw *Network) deliverNext(dp *port) {
 	} else {
 		nw.eng.At(dp.wire[dp.wireHead].at, dp.deliver)
 	}
-	nw.Delivered++
-	dp.rxPkts++
-	dp.rxBytes += uint64(f.d.Size)
-	dp.in.Push(f.d)
+	nw.deliverNow(dp, f.d)
 }
 
-// drop records a dropped packet under its cause and recycles the delivery.
-func (nw *Network) drop(sp *port, d *Delivery, cause DropCause, txDone sim.Time) sim.Time {
+// drop records a dropped packet under its cause and recycles the
+// delivery. The source link still serializes the doomed frame, exactly
+// as the wire would.
+func (nw *Network) drop(sp *port, d *Delivery, cause DropCause, ser sim.Duration) sim.Time {
+	txDone := sp.up.Occupy(ser)
+	nw.SerTime += ser
 	nw.Dropped++
 	nw.droppedBy[cause]++
 	sp.drops[cause]++

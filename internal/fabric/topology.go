@@ -1,0 +1,276 @@
+package fabric
+
+import "fmt"
+
+// SwitchID identifies one switch in the fabric's topology.
+type SwitchID int
+
+// Topology describes the switch graph of the interconnect: how many
+// switches exist, which switch each host hangs off, and the
+// deterministic switch path between any two hosts. Implementations must
+// be pure functions of their construction parameters — routing decisions
+// consume no randomness and depend on no traffic state — so simulations
+// stay byte-reproducible across runs and process models.
+type Topology interface {
+	Name() string
+
+	// Switches reports the number of switches in the graph.
+	Switches() int
+
+	// HostSwitch returns the switch host h attaches to.
+	HostSwitch(h NodeID) SwitchID
+
+	// Route appends the switch path from src to dst to buf and returns
+	// the extended slice. The path starts at HostSwitch(src), ends at
+	// HostSwitch(dst), and every consecutive pair is a physical
+	// switch-to-switch link. It is never empty and never called with
+	// src == dst (loopback is NIC-local and skips the fabric).
+	Route(buf []SwitchID, src, dst NodeID) []SwitchID
+}
+
+// BuildTopology constructs the topology p selects for a fabric of the
+// given host count. An empty Params.Topology means the classic single
+// crossbar. A zero Params.TopologyDegree picks each topology's default
+// arity. Unknown names panic: topology selection is validated when
+// scenarios compile, so reaching here with a bad name is a programming
+// error.
+func BuildTopology(p Params, hosts int) Topology {
+	deg := p.TopologyDegree
+	switch p.Topology {
+	case "", TopoCrossbar:
+		return Crossbar{}
+	case TopoFatTree:
+		if deg <= 0 {
+			deg = 4
+		}
+		return NewFatTree(hosts, deg)
+	case TopoDragonfly:
+		if deg <= 0 {
+			deg = 2
+		}
+		return NewDragonfly(hosts, deg)
+	case TopoTorus3D:
+		if deg <= 0 {
+			deg = 1
+		}
+		return NewTorus3D(hosts, deg)
+	default:
+		panic(fmt.Sprintf("fabric: unknown topology %q", p.Topology))
+	}
+}
+
+// Topology names accepted by Params.Topology.
+const (
+	TopoCrossbar  = "crossbar"
+	TopoFatTree   = "fattree"
+	TopoDragonfly = "dragonfly"
+	TopoTorus3D   = "torus3d"
+)
+
+// TopologyNames lists the accepted Params.Topology values.
+func TopologyNames() []string {
+	return []string{TopoCrossbar, TopoFatTree, TopoDragonfly, TopoTorus3D}
+}
+
+// Crossbar is the default topology: every host attaches to one central
+// switch and every route is a single hop. It is what the original
+// star-fabric model was, expressed as a Topology.
+type Crossbar struct{}
+
+// Name implements Topology.
+func (Crossbar) Name() string { return TopoCrossbar }
+
+// Switches implements Topology.
+func (Crossbar) Switches() int { return 1 }
+
+// HostSwitch implements Topology.
+func (Crossbar) HostSwitch(NodeID) SwitchID { return 0 }
+
+// Route implements Topology.
+func (Crossbar) Route(buf []SwitchID, _, _ NodeID) []SwitchID {
+	return append(buf, 0)
+}
+
+// FatTree is a two-level folded Clos: leaves attach hosts, spines
+// connect leaves. The arity sets both the hosts per leaf and the spine
+// count (each leaf has one uplink per spine), so the tree has full
+// bisection bandwidth when traffic spreads across spines — and a single
+// hot spine when it does not, which incast routing deliberately creates.
+type FatTree struct {
+	arity  int // hosts per leaf, and the spine count
+	leaves int
+}
+
+// NewFatTree builds a fat-tree for the given host count with the given
+// hosts-per-leaf arity.
+func NewFatTree(hosts, arity int) *FatTree {
+	if hosts < 1 || arity < 1 {
+		panic(fmt.Sprintf("fabric: bad fat-tree shape (hosts %d, arity %d)", hosts, arity))
+	}
+	return &FatTree{arity: arity, leaves: (hosts + arity - 1) / arity}
+}
+
+// Name implements Topology.
+func (t *FatTree) Name() string { return TopoFatTree }
+
+// Switches reports leaves then spines: leaf i is switch i, spine j is
+// switch leaves+j.
+func (t *FatTree) Switches() int { return t.leaves + t.arity }
+
+// HostSwitch implements Topology: hosts fill leaves in order.
+func (t *FatTree) HostSwitch(h NodeID) SwitchID { return SwitchID(int(h) / t.arity) }
+
+// Route implements Topology with deterministic up/down routing: same
+// leaf is one hop; otherwise up to the spine selected by the destination
+// (D-mod-k), then down. Destination-based spine selection concentrates
+// all traffic toward one host on one spine — the worst case for incast,
+// which is exactly the congestion the routed fabric exists to surface.
+func (t *FatTree) Route(buf []SwitchID, src, dst NodeID) []SwitchID {
+	ls, ld := t.HostSwitch(src), t.HostSwitch(dst)
+	if ls == ld {
+		return append(buf, ls)
+	}
+	spine := SwitchID(t.leaves + int(dst)%t.arity)
+	return append(buf, ls, spine, ld)
+}
+
+// Dragonfly is a two-tier hierarchical topology: routers within a group
+// are fully connected, and each router owns exactly one global link to
+// another group (h=1), so there are a+1 groups of a routers. Minimal
+// routing takes at most a local hop, a global hop, and a local hop.
+type Dragonfly struct {
+	p      int // hosts per router
+	a      int // routers per group
+	groups int // a+1: one global link per router saturates the graph
+}
+
+// NewDragonfly builds the smallest balanced h=1 dragonfly — a routers
+// per group, a+1 groups — whose p*a*(a+1) host slots cover hosts.
+func NewDragonfly(hosts, hostsPerRouter int) *Dragonfly {
+	if hosts < 1 || hostsPerRouter < 1 {
+		panic(fmt.Sprintf("fabric: bad dragonfly shape (hosts %d, hosts/router %d)", hosts, hostsPerRouter))
+	}
+	a := 1
+	for hostsPerRouter*a*(a+1) < hosts {
+		a++
+	}
+	return &Dragonfly{p: hostsPerRouter, a: a, groups: a + 1}
+}
+
+// Name implements Topology.
+func (t *Dragonfly) Name() string { return TopoDragonfly }
+
+// Switches implements Topology: router r of group g is switch g*a+r.
+func (t *Dragonfly) Switches() int { return t.groups * t.a }
+
+// HostSwitch implements Topology: hosts fill routers in order.
+func (t *Dragonfly) HostSwitch(h NodeID) SwitchID { return SwitchID(int(h) / t.p) }
+
+// gateway returns the router in group g owning the single global link to
+// group j: router r links to the r-th other group in index order, the
+// canonical h=1 assignment (consistent from both ends of each link).
+func (t *Dragonfly) gateway(g, j int) SwitchID {
+	r := j
+	if j > g {
+		r = j - 1
+	}
+	return SwitchID(g*t.a + r)
+}
+
+// Route implements Topology with minimal routing: intra-group pairs use
+// the direct local link; inter-group pairs hop to the source group's
+// gateway, cross the global link, and hop to the destination router.
+func (t *Dragonfly) Route(buf []SwitchID, src, dst NodeID) []SwitchID {
+	rs, rd := t.HostSwitch(src), t.HostSwitch(dst)
+	gs, gd := int(rs)/t.a, int(rd)/t.a
+	buf = append(buf, rs)
+	if gs == gd {
+		if rd != rs {
+			buf = append(buf, rd)
+		}
+		return buf
+	}
+	ga, gb := t.gateway(gs, gd), t.gateway(gd, gs)
+	if ga != rs {
+		buf = append(buf, ga)
+	}
+	buf = append(buf, gb)
+	if rd != gb {
+		buf = append(buf, rd)
+	}
+	return buf
+}
+
+// Torus3D is an APENet-style 3D torus: a side^3 cube of switches with
+// wraparound links in every dimension, each attaching a fixed number of
+// hosts. Routing is dimension-order (X, then Y, then Z), taking the
+// shorter way around each ring.
+type Torus3D struct {
+	side     int
+	hostsPer int
+}
+
+// NewTorus3D builds the smallest cubic torus whose side^3 switches, at
+// hostsPerSwitch hosts each, cover the given host count.
+func NewTorus3D(hosts, hostsPerSwitch int) *Torus3D {
+	if hosts < 1 || hostsPerSwitch < 1 {
+		panic(fmt.Sprintf("fabric: bad torus shape (hosts %d, hosts/switch %d)", hosts, hostsPerSwitch))
+	}
+	side := 1
+	for side*side*side*hostsPerSwitch < hosts {
+		side++
+	}
+	return &Torus3D{side: side, hostsPer: hostsPerSwitch}
+}
+
+// Name implements Topology.
+func (t *Torus3D) Name() string { return TopoTorus3D }
+
+// Switches implements Topology: switch (x,y,z) is (z*side+y)*side+x.
+func (t *Torus3D) Switches() int { return t.side * t.side * t.side }
+
+// HostSwitch implements Topology: hosts fill switches in id order.
+func (t *Torus3D) HostSwitch(h NodeID) SwitchID { return SwitchID(int(h) / t.hostsPer) }
+
+func (t *Torus3D) coords(s SwitchID) (x, y, z int) {
+	x = int(s) % t.side
+	y = (int(s) / t.side) % t.side
+	z = int(s) / (t.side * t.side)
+	return
+}
+
+func (t *Torus3D) id(x, y, z int) SwitchID {
+	return SwitchID((z*t.side+y)*t.side + x)
+}
+
+// step moves one ring position from v toward goal the shorter way
+// around; ties break toward +, so routes are deterministic.
+func (t *Torus3D) step(v, goal int) int {
+	fwd := ((goal - v) + t.side) % t.side
+	if fwd <= t.side-fwd {
+		return (v + 1) % t.side
+	}
+	return (v - 1 + t.side) % t.side
+}
+
+// Route implements Topology with dimension-order routing, appending
+// every intermediate switch on the walk.
+func (t *Torus3D) Route(buf []SwitchID, src, dst NodeID) []SwitchID {
+	cur, goal := t.HostSwitch(src), t.HostSwitch(dst)
+	buf = append(buf, cur)
+	x, y, z := t.coords(cur)
+	gx, gy, gz := t.coords(goal)
+	for x != gx {
+		x = t.step(x, gx)
+		buf = append(buf, t.id(x, y, z))
+	}
+	for y != gy {
+		y = t.step(y, gy)
+		buf = append(buf, t.id(x, y, z))
+	}
+	for z != gz {
+		z = t.step(z, gz)
+		buf = append(buf, t.id(x, y, z))
+	}
+	return buf
+}

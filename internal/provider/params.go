@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vibe/internal/fabric"
 	"vibe/internal/nicsim"
 	"vibe/internal/sim"
 )
@@ -191,6 +192,31 @@ func buildCatalog() []Param {
 			func(m *Model) *int { return &m.Network.FrameOverhead }),
 		floatParam("DropRate", "probability", "per-packet loss probability",
 			func(m *Model) *float64 { return &m.Network.DropRate }),
+		{
+			Name: "NetTopology", Kind: KindEnum,
+			Unit: strings.Join(fabric.TopologyNames(), "|"),
+			Doc:  "interconnect switch graph (crossbar is the single-switch default)",
+			get: func(m *Model) string {
+				if m.Network.Topology == "" {
+					return fabric.TopoCrossbar
+				}
+				return m.Network.Topology
+			},
+			set: func(m *Model, v string) error {
+				t := strings.ToLower(strings.TrimSpace(v))
+				for _, name := range fabric.TopologyNames() {
+					if t == name {
+						m.Network.Topology = t
+						return nil
+					}
+				}
+				return fmt.Errorf("bad topology %q (%s)", v, strings.Join(fabric.TopologyNames(), "|"))
+			},
+		},
+		intParam("NetTopoDegree", "hosts/switch", "host-attachment arity of routed topologies (0 = topology default)",
+			func(m *Model) *int { return &m.Network.TopologyDegree }),
+		intParam("NetSwitchBufPkts", "packets", "per-output-port switch buffer bound; 0 = unbounded (full queues withhold credit upstream)",
+			func(m *Model) *int { return &m.Network.SwitchBufPkts }),
 
 		// Non-data-transfer costs.
 		durParam("ViCreate", "VI creation cost",

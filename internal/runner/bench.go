@@ -40,6 +40,10 @@ type SuiteBench struct {
 	// process models (see DispatchBench). Its Speedup field is the
 	// machine-independent ratio CI gates on.
 	Dispatch *DispatchBench `json:"dispatch,omitempty"`
+
+	// DispatchRouted is the same comparison on the routed fat-tree fabric
+	// (see BenchDispatchRouted), gated when both reports carry it.
+	DispatchRouted *DispatchBench `json:"dispatch_routed,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -140,6 +144,16 @@ func (b *SuiteBench) GateDispatch(base *SuiteBench, tolerance float64) error {
 	if b.Dispatch.Speedup < floor {
 		return fmt.Errorf("bench gate: dispatch speedup %.2fx below floor %.2fx (committed %.2fx - %.0f%%)",
 			b.Dispatch.Speedup, floor, base.Dispatch.Speedup, tolerance*100)
+	}
+	// The routed-fabric ratio gates only once both reports carry it, so
+	// baselines committed before the routed bench existed still gate the
+	// crossbar number.
+	if b.DispatchRouted != nil && base.DispatchRouted != nil {
+		floor := base.DispatchRouted.Speedup * (1 - tolerance)
+		if b.DispatchRouted.Speedup < floor {
+			return fmt.Errorf("bench gate: routed dispatch speedup %.2fx below floor %.2fx (committed %.2fx - %.0f%%)",
+				b.DispatchRouted.Speedup, floor, base.DispatchRouted.Speedup, tolerance*100)
+		}
 	}
 	return nil
 }

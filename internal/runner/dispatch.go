@@ -40,14 +40,14 @@ type DispatchBench struct {
 	Speedup           float64 `json:"speedup"`
 }
 
-// runIncast simulates the incast once: senders hosts each stream msgs
-// reliable RDMA writes of the given size at host 0. It returns the
-// engine's dispatched-event count and the final virtual time — the two
-// equivalence fingerprints — and fails on any descriptor error or leaked
-// process.
-func runIncast(pm via.ProcModel, senders, msgs, size int) (uint64, sim.Time, error) {
+// runIncast simulates the incast once on the given provider model:
+// senders hosts each stream msgs reliable RDMA writes of the given size
+// at host 0. It returns the engine's dispatched-event count and the final
+// virtual time — the two equivalence fingerprints — and fails on any
+// descriptor error or leaked process.
+func runIncast(pm via.ProcModel, m *provider.Model, senders, msgs, size int) (uint64, sim.Time, error) {
 	const timeout = 30 * sim.Second
-	sys := via.NewSystemProc(provider.CLAN(), senders+1, 1, pm)
+	sys := via.NewSystemProc(m, senders+1, 1, pm)
 	var runErr error
 	fail := func(err error) {
 		if runErr == nil {
@@ -157,7 +157,7 @@ func runIncast(pm via.ProcModel, senders, msgs, size int) (uint64, sim.Time, err
 // rep): the bulk-posted descriptors keep thousands of objects live, and
 // GC assist time would otherwise dominate long streams equally in both
 // models, diluting the dispatch ratio the benchmark exists to measure.
-func benchIncast(pm via.ProcModel, senders, msgs, size, reps int) (uint64, sim.Time, time.Duration, error) {
+func benchIncast(pm via.ProcModel, m *provider.Model, senders, msgs, size, reps int) (uint64, sim.Time, time.Duration, error) {
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	var ev uint64
 	var end sim.Time
@@ -165,7 +165,7 @@ func benchIncast(pm via.ProcModel, senders, msgs, size, reps int) (uint64, sim.T
 	for r := 0; r < reps; r++ {
 		runtime.GC()
 		start := time.Now()
-		e, t, err := runIncast(pm, senders, msgs, size)
+		e, t, err := runIncast(pm, m, senders, msgs, size)
 		wall := time.Since(start)
 		if err != nil {
 			return 0, 0, 0, err
@@ -189,13 +189,30 @@ func benchIncast(pm via.ProcModel, senders, msgs, size, reps int) (uint64, sim.T
 // the shared event backlog, and a smaller one times a region too short to
 // measure stably.
 func BenchDispatch() (*DispatchBench, error) {
+	return benchDispatchOn(provider.CLAN(), "incast %d->1, %d x %dB reliable RDMA writes")
+}
+
+// BenchDispatchRouted is the routed-fabric variant of BenchDispatch: the
+// same incast, but over a fat-tree with finite switch buffers, so the
+// timed event stream includes multi-hop routing, per-hop serialization,
+// and credit-backpressure accounting. Gated alongside the crossbar number
+// so topology-path overhead regressions surface in CI.
+func BenchDispatchRouted() (*DispatchBench, error) {
+	m := provider.CLAN()
+	m.Network.Topology = "fattree"
+	m.Network.TopologyDegree = 4
+	m.Network.SwitchBufPkts = 8
+	return benchDispatchOn(m, "fat-tree incast %d->1, %d x %dB reliable RDMA writes")
+}
+
+func benchDispatchOn(m *provider.Model, scenarioFmt string) (*DispatchBench, error) {
 	senders, msgs, size := 16, 300, 64
 	const reps = 5
-	gev, gend, gwall, err := benchIncast(via.ModelGoroutine, senders, msgs, size, reps)
+	gev, gend, gwall, err := benchIncast(via.ModelGoroutine, m, senders, msgs, size, reps)
 	if err != nil {
 		return nil, fmt.Errorf("goroutine model: %w", err)
 	}
-	aev, aend, awall, err := benchIncast(via.ModelActor, senders, msgs, size, reps)
+	aev, aend, awall, err := benchIncast(via.ModelActor, m, senders, msgs, size, reps)
 	if err != nil {
 		return nil, fmt.Errorf("actor model: %w", err)
 	}
@@ -204,7 +221,7 @@ func BenchDispatch() (*DispatchBench, error) {
 			gev, gend, aev, aend)
 	}
 	b := &DispatchBench{
-		Scenario:    fmt.Sprintf("incast %d->1, %d x %dB reliable RDMA writes", senders, senders*msgs, size),
+		Scenario:    fmt.Sprintf(scenarioFmt, senders, senders*msgs, size),
 		Senders:     senders,
 		Messages:    msgs,
 		Size:        size,

@@ -3,29 +3,45 @@ package runner
 import (
 	"testing"
 
+	"vibe/internal/provider"
 	"vibe/internal/via"
 )
 
 // TestIncastModelsAgree runs a small incast under both process models and
-// requires the equivalence fingerprints to match exactly. This is the
+// requires the equivalence fingerprints to match exactly — on the default
+// crossbar and on the routed fat-tree the CI bench also times. This is the
 // benchmark's own precondition, kept under test so a drift in either model
 // (or in the workload) fails here rather than inside a CI bench run.
 func TestIncastModelsAgree(t *testing.T) {
 	const senders, msgs, size = 4, 40, 64
-	gev, gend, err := runIncast(via.ModelGoroutine, senders, msgs, size)
-	if err != nil {
-		t.Fatalf("goroutine model: %v", err)
-	}
-	aev, aend, err := runIncast(via.ModelActor, senders, msgs, size)
-	if err != nil {
-		t.Fatalf("actor model: %v", err)
-	}
-	if gev != aev || gend != aend {
-		t.Fatalf("models diverge: goroutine (%d events, end %v) vs actor (%d events, end %v)",
-			gev, gend, aev, aend)
-	}
-	if aev == 0 {
-		t.Fatal("incast dispatched no events")
+	routed := provider.CLAN()
+	routed.Network.Topology = "fattree"
+	routed.Network.TopologyDegree = 4
+	routed.Network.SwitchBufPkts = 8
+	for _, tc := range []struct {
+		name  string
+		model *provider.Model
+	}{
+		{"crossbar", provider.CLAN()},
+		{"fattree", routed},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			gev, gend, err := runIncast(via.ModelGoroutine, tc.model, senders, msgs, size)
+			if err != nil {
+				t.Fatalf("goroutine model: %v", err)
+			}
+			aev, aend, err := runIncast(via.ModelActor, tc.model, senders, msgs, size)
+			if err != nil {
+				t.Fatalf("actor model: %v", err)
+			}
+			if gev != aev || gend != aend {
+				t.Fatalf("models diverge: goroutine (%d events, end %v) vs actor (%d events, end %v)",
+					gev, gend, aev, aend)
+			}
+			if aev == 0 {
+				t.Fatal("incast dispatched no events")
+			}
+		})
 	}
 }
 

@@ -96,6 +96,37 @@ func TestProcModelEquivalenceClean(t *testing.T) {
 	}
 }
 
+// TestProcModelEquivalenceTopologies re-checks the byte-identity contract
+// with the fabric routed over every multi-switch topology, with finite
+// switch buffers so the credit-backpressure path is exercised, both clean
+// and under seeded random fault plans. Routing and credit accounting are
+// synchronous pure functions inside Send, so they must not perturb
+// equivalence — this pins that.
+func TestProcModelEquivalenceTopologies(t *testing.T) {
+	for _, topo := range []string{"fattree", "dragonfly", "torus3d"} {
+		model := func() *provider.Model {
+			m := provider.CLAN()
+			m.Network.Topology = topo
+			m.Network.TopologyDegree = 1 // one host per switch: every packet multi-hops
+			m.Network.SwitchBufPkts = 2
+			return m
+		}
+		t.Run(topo+"/clean", func(t *testing.T) {
+			g := runFingerprint(t, ModelGoroutine, model(), 1, nil, 12, 4096)
+			a := runFingerprint(t, ModelActor, model(), 1, nil, 12, 4096)
+			diffFingerprints(t, topo, g, a)
+		})
+		for seed := int64(0); seed < 4; seed++ {
+			seed := seed
+			t.Run(topo+"/faults-"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+				g := runFingerprint(t, ModelGoroutine, model(), seed+1, fault.RandomPlan(seed), 12, 1200)
+				a := runFingerprint(t, ModelActor, model(), seed+1, fault.RandomPlan(seed), 12, 1200)
+				diffFingerprints(t, topo, g, a)
+			})
+		}
+	}
+}
+
 // TestProcModelEquivalenceFaults is the adversarial version: 24 seeded
 // random fault plans — drops, duplicates, corruption, delays, doorbell
 // and DMA stalls, broken connections, retransmission storms — each run

@@ -112,10 +112,24 @@ func (s *System) CollectMetrics() metrics.Snapshot {
 		r.AddUint(metrics.Join(linkK, "tx_bytes"), ls.TxBytes)
 		r.AddUint(metrics.Join(linkK, "rx_packets"), ls.RxPackets)
 		r.AddUint(metrics.Join(linkK, "rx_bytes"), ls.RxBytes)
+		r.AddUint(metrics.Join(linkK, "rx_corrupt"), ls.RxCorrupt)
 		r.AddUint(metrics.Join(linkK, "dropped"), ls.Dropped)
 		r.AddUint(metrics.Join(linkK, "dropped_fault"), ls.DroppedFault)
 		r.AddUint(metrics.Join(linkK, "dropped_filter"), ls.DroppedFilter)
 		r.AddUint(metrics.Join(linkK, "dropped_rate"), ls.DroppedRate)
+	}
+
+	// Per-switch output-port activity: forwarded traffic, credit stalls
+	// (admissions that waited for a downstream buffer slot) and the
+	// deepest queue occupancy seen, per switch of the topology.
+	for si := 0; si < s.Net.Switches(); si++ {
+		ss := s.Net.SwitchStats(fabric.SwitchID(si))
+		swK := "switch" + strconv.Itoa(si)
+		r.AddUint(metrics.Join(swK, "tx_packets"), ss.TxPackets)
+		r.AddUint(metrics.Join(swK, "tx_bytes"), ss.TxBytes)
+		r.AddUint(metrics.Join(swK, "credit_stalls"), ss.CreditStalls)
+		r.Add(metrics.Join(swK, "stall_ns"), float64(ss.StallTime))
+		r.Gauge(metrics.Join(swK, "max_queue"), float64(ss.MaxQueue))
 	}
 
 	r.AddUint("fabric.sent", s.Net.Sent)
@@ -129,6 +143,8 @@ func (s *System) CollectMetrics() metrics.Snapshot {
 	r.AddUint("fabric.bytes", s.Net.BytesSent)
 	r.Add("fabric.serialization_ns", float64(s.Net.SerTime))
 	r.Add("fabric.propagation_ns", float64(s.Net.PropTime))
+	r.AddUint("fabric.credit_stalls", s.Net.CreditStalls())
+	r.Gauge("fabric.max_switch_queue", float64(s.Net.MaxQueueDepth()))
 
 	// Fault-plan application counts by kind, when a plan is installed.
 	if s.faults != nil {
