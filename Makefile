@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos check cover bench bench-smoke bench-sim quick clean
+.PHONY: all build vet test race chaos failover-smoke check cover bench bench-smoke bench-sim quick clean
 
 all: check
 
@@ -22,13 +22,30 @@ race:
 	$(GO) test -race ./internal/runner/... ./internal/metrics/... ./internal/trace/...
 
 # Seeded chaos soak: run CHAOS_PLANS random fault plans against the VIA
-# stack under the race detector, plus the span-accounting integrity sweep
-# (spans must never leak or double-close under faults). Every wait in the
-# soak is bounded, so a hang is a simulation deadlock and fails the run;
-# the timeout bounds the wall clock regardless.
+# stack under the race detector — the crossbar soak (TestChaosSoak) plus
+# the routed-topology soak (TestChaosSoakRouted: fat-tree/dragonfly/torus
+# fabrics under topology-aware plans that also kill switches and
+# inter-switch links) — plus the span-accounting integrity sweep (spans
+# must never leak or double-close under faults). Every wait in the soak is
+# bounded, so a hang is a simulation deadlock and fails the run; the
+# timeout bounds the wall clock regardless.
 CHAOS_PLANS ?= 200
 chaos:
-	VIBE_CHAOS_PLANS=$(CHAOS_PLANS) $(GO) test -race -run 'TestChaosSoak|TestSpanIntegrityUnderFaults' -timeout 10m ./internal/via/
+	VIBE_CHAOS_PLANS=$(CHAOS_PLANS) $(GO) test -race -run 'TestChaosSoak|TestChaosSoakRouted|TestSpanIntegrityUnderFaults' -timeout 10m ./internal/via/
+
+# Failover smoke: rerun the XFAILOVER spine-outage experiment in quick
+# mode and require byte-identical results against the committed baseline
+# (-tol 0), with the trace and virtual-time profile written alongside for
+# CI artifact upload. A diff here means failover routing, the element
+# oracle, or the recovery path changed behavior.
+failover-smoke: build
+	mkdir -p artifacts
+	$(GO) run ./cmd/vibe-report -quick -exp XFAILOVER \
+	  -trace-out artifacts/xfailover_trace.json \
+	  -profile-out artifacts/xfailover_profile.folded \
+	  -compare internal/results/testdata/baseline-xfailover-quick.json -tol 0 \
+	  > artifacts/xfailover_report.txt
+	tail -n 30 artifacts/xfailover_report.txt
 
 check: vet build test race
 

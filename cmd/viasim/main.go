@@ -33,6 +33,7 @@ func main() {
 		topo      = flag.String("topo", "", "fabric topology: crossbar, fattree, dragonfly, torus3d (default: the model's)")
 		degree    = flag.Int("degree", 0, "topology host-attachment degree (0 = topology default)")
 		switchBuf = flag.Int("switchbuf", 0, "switch output buffer in packets (0 = unbounded)")
+		route     = flag.String("route", "", "multipath route policy: failover, adaptive (default: failover)")
 		nodes     = flag.Int("nodes", 2, "hosts in the simulated cluster; ping runs host 0 <-> host nodes-1")
 	)
 	flag.Parse()
@@ -49,6 +50,9 @@ func main() {
 	}
 	if *switchBuf > 0 {
 		m.Network.SwitchBufPkts = *switchBuf
+	}
+	if *route != "" {
+		m.Network.RoutePolicy = *route
 	}
 	if *nodes < 2 {
 		fatal(fmt.Errorf("-nodes must be at least 2"))
@@ -77,6 +81,11 @@ func dumpModel(m *provider.Model, nodes int) {
 		t.AddRow("switch buffer (pkts)", m.Network.SwitchBufPkts)
 	} else {
 		t.AddRow("switch buffer (pkts)", "unbounded")
+	}
+	if p := m.Network.RoutePolicy; p != "" {
+		t.AddRow("route policy", p)
+	} else {
+		t.AddRow("route policy", fabric.RouteFailover)
 	}
 	t.AddRow("wire MTU (bytes)", m.WireMTU)
 	t.AddRow("max transfer (bytes)", m.MaxTransferSize)

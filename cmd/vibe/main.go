@@ -227,6 +227,7 @@ func main() {
 		spanSample   = flag.Int("span-sample", 1, "with -metrics/-trace-out, record every Nth message's lifecycle span (1 = every message, 0 = disable)")
 		profileOut   = flag.String("profile-out", "", "write a folded-stack virtual-time profile (flamegraph/pprof input)")
 		topo         = flag.String("topo", "", "fabric topology: crossbar, fattree, dragonfly, torus3d (shorthand for -set NetTopology=...)")
+		route        = flag.String("route", "", "multipath route policy: failover, adaptive (shorthand for -set NetRoutePolicy=...)")
 	)
 	flag.Var(&sets, "set", "override a model parameter, e.g. -set DoorbellCost=2us (repeatable; see provider catalog)")
 	flag.Var(&sweeps, "sweep", "sweep a parameter over values, e.g. -sweep TLBCapacity=8,32,128 (repeatable; cells form a grid)")
@@ -248,6 +249,12 @@ func main() {
 			spec.Set = map[string]string{}
 		}
 		spec.Set["NetTopology"] = *topo
+	}
+	if *route != "" {
+		if spec.Set == nil {
+			spec.Set = map[string]string{}
+		}
+		spec.Set["NetRoutePolicy"] = *route
 	}
 	specs, err := core.ExpandSweeps(spec, sweeps)
 	if err != nil {

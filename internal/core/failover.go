@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"vibe/internal/bench"
+	"vibe/internal/fault"
+	"vibe/internal/provider"
+	"vibe/internal/sim"
+	"vibe/internal/table"
+	"vibe/internal/via"
+)
+
+// FailoverResult is one fabric-outage measurement: the usual routed
+// goodput numbers plus the recovery evidence — how many packets left
+// their primary path, how many found no path at all, and what the
+// reliability layer had to do about it.
+type FailoverResult struct {
+	TopoResult
+
+	SendOK       uint64 // sends completed StatusSuccess
+	SendFailed   uint64 // sends completed Flushed or TransportError
+	PostRejected uint64 // posts refused (connection no longer usable)
+
+	Retransmits uint64 // go-back-N retransmissions, all NICs
+	Rerouted    uint64 // packets carried over a non-primary path
+	Unroutable  uint64 // packets dropped with every candidate path dead
+	Callbacks   uint64 // asynchronous error callbacks fired
+	ConnBroken  bool   // any VI escalated to the error state
+
+	// RerouteLatencyUs is how long after the outage began the first
+	// packet was steered onto an alternate path (-1: never rerouted).
+	RerouteLatencyUs float64
+}
+
+// failoverStreamStart is the virtual time the senders begin streaming:
+// past the slowest provider's connection storm, so outage windows land
+// at identical stream offsets on every model.
+const failoverStreamStart = 50 * sim.Millisecond
+
+// failoverGap paces each sender's open-loop stream.
+const failoverGap = 250 * sim.Microsecond
+
+// FailoverRun drives a paced incast — senders hosts each streaming msgs
+// reliable RDMA writes of the given size at host 0 — while cfg.Fault's
+// outage plan is active, and reports how routing and the reliability
+// layer absorbed it. Posts follow an absolute open-loop schedule, so an
+// outage delays the wire, never the offered load. outageStart anchors
+// the reroute-latency measurement (pass 0 for fault-free runs). Every
+// wait is bounded, so the run terminates whatever the plan severs.
+func FailoverRun(cfg Config, senders, msgs, size int, outageStart sim.Time) (FailoverResult, error) {
+	res := FailoverResult{
+		TopoResult:       TopoResult{Hosts: senders + 1, Messages: senders * msgs, Size: size},
+		RerouteLatencyUs: -1,
+	}
+	sys := via.NewSystemProc(cfg.Model, senders+1, cfg.Seed, cfg.ProcModel)
+	defer sys.Close()
+	cfg.instrument(sys)
+
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+		sys.Eng.Stop()
+	}
+	onError := func(*via.Ctx, via.ErrorEvent) {
+		res.Callbacks++
+		res.ConnBroken = true
+	}
+	attrs := via.ViAttributes{Reliability: via.ReliableDelivery, EnableRdmaWrite: true}
+	targets := make([]via.AddressSegment, senders+1)
+	var registered int
+	t0 := sim.Time(0).Add(failoverStreamStart)
+	var t1 sim.Time
+
+	// Recovery from an outage is bounded by the full backoff ladder; a
+	// drain longer than that means the descriptor is stuck.
+	drainBound := 500 * sim.Millisecond
+
+	for s := 1; s <= senders; s++ {
+		s := s
+		disc := fmt.Sprintf("fo-%d", s)
+		sys.Go(0, "fo-sink-"+disc, func(ctx *via.Ctx) {
+			nic := ctx.OpenNic()
+			nic.SetErrorCallback(onError)
+			vi, err := nic.CreateVi(ctx, attrs, nil, nil)
+			if err != nil {
+				fail(err)
+				return
+			}
+			buf := ctx.Malloc(size)
+			h, err := nic.RegisterMem(ctx, buf)
+			if err != nil {
+				fail(err)
+				return
+			}
+			targets[s] = via.AddressSegment{Addr: buf.Addr(), Handle: h}
+			registered++
+			req, err := nic.ConnectWait(ctx, disc, cfg.Timeout)
+			if err != nil {
+				fail(fmt.Errorf("wait %s: %w", disc, err))
+				return
+			}
+			if err := req.Accept(ctx, vi); err != nil {
+				fail(fmt.Errorf("accept %s: %w", disc, err))
+			}
+		})
+		sys.Go(s, "fo-src-"+disc, func(ctx *via.Ctx) {
+			nic := ctx.OpenNic()
+			nic.SetErrorCallback(onError)
+			vi, err := nic.CreateVi(ctx, attrs, nil, nil)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if err := vi.ConnectRequest(ctx, 0, disc, cfg.Timeout); err != nil {
+				fail(fmt.Errorf("connect %s: %w", disc, err))
+				return
+			}
+			for registered < senders { // address exchange
+				ctx.Sleep(10 * sim.Microsecond)
+			}
+			buf := ctx.Malloc(size)
+			h, err := nic.RegisterMem(ctx, buf)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if d := t0.Sub(ctx.Now()); d > 0 {
+				ctx.Sleep(d)
+			}
+			remote := targets[s]
+			classify := func(d *via.Descriptor) {
+				if d.Status == via.StatusSuccess {
+					res.SendOK++
+				} else {
+					res.SendFailed++
+				}
+				if now := ctx.Now(); now > t1 {
+					t1 = now
+				}
+			}
+			posted, done := 0, 0
+			start := ctx.Now()
+			for i := 0; i < msgs; i++ {
+				if next := start.Add(sim.Duration(i) * failoverGap); next > ctx.Now() {
+					ctx.Sleep(next.Sub(ctx.Now()))
+				}
+				d := &via.Descriptor{
+					Op:     via.OpRdmaWrite,
+					Segs:   []via.DataSegment{{Addr: buf.Addr(), Handle: h, Length: size}},
+					Remote: &remote,
+				}
+				if err := vi.PostSend(ctx, d); err != nil {
+					res.PostRejected++
+				} else {
+					posted++
+				}
+				for {
+					d, ok := vi.SendDone(ctx)
+					if !ok {
+						break
+					}
+					classify(d)
+					done++
+				}
+			}
+			for done < posted {
+				d, err := vi.SendWait(ctx, drainBound)
+				if err != nil {
+					break // timed out or queue flushed empty: stuck sends stay unaccounted
+				}
+				classify(d)
+				done++
+			}
+		})
+	}
+	if err := sys.Run(); err != nil && runErr == nil {
+		runErr = err
+	}
+	res.Messages = int(res.SendOK)
+	res.CreditStalls = sys.Net.CreditStalls()
+	res.MaxQueue = sys.Net.MaxQueueDepth()
+	res.Rerouted = sys.Net.Rerouted
+	res.Unroutable = sys.Net.Unroutable
+	if at, ok := sys.Net.FirstRerouteAt(); ok {
+		res.RerouteLatencyUs = at.Sub(outageStart).Micros()
+	}
+	for k, v := range sys.CollectMetrics().Map() {
+		if strings.HasSuffix(k, "window.retransmits") {
+			res.Retransmits += uint64(v)
+		}
+	}
+	res.finish(t0, t1)
+	return res, runErr
+}
+
+// failoverCase is one XFAILOVER scenario: an outage plan over the
+// fat-tree's spines plus the instant it begins.
+type failoverCase struct {
+	name  string
+	plan  *fault.Plan
+	start sim.Time
+}
+
+// failoverConfig shapes the XFAILOVER fabric: a fat-tree with two spines
+// (degree 2), so host 0's primary spine has exactly one same-cost
+// alternate, and 8-packet switch buffers. A scenario that already
+// selects a topology wins, like the other topology experiments.
+func failoverConfig(sc *Scenario, m *provider.Model) Config {
+	cfg := sc.Config(m)
+	if cfg.Model.Network.Topology == "" {
+		cfg.Model.Network.Topology = "fattree"
+		cfg.Model.Network.TopologyDegree = 2
+		cfg.Model.Network.SwitchBufPkts = 8
+	}
+	return cfg
+}
+
+func expXFAILOVER() *Experiment {
+	return &Experiment{
+		ID:    "XFAILOVER",
+		Title: "Extension: spine outage mid-incast — failover routing and recovery",
+		PaperClaim: "(robustness extension) Killing the spine an incast routes " +
+			"through must not kill the workload: multipath failover steers " +
+			"every packet onto the surviving spine within one send, and even " +
+			"a full spine blackout shorter than the retransmission ladder is " +
+			"absorbed by go-back-N recovery with zero application-visible " +
+			"errors — the transport-recovery behavior the VIA error model " +
+			"prescribes, now exercised by the fabric itself.",
+		Run: func(sc *Scenario) (*Report, error) {
+			const senders, size = 4, 2048
+			msgs := 120
+			if sc.Quick {
+				msgs = 40
+			}
+			// 5 hosts at degree 2: leaves 0-2, spines 3-4; host 0's
+			// destination-mod-k primary spine is switch 3.
+			const leaves = 3
+			prim, altn := leaves, leaves+1
+			outage := sim.Time(0).Add(52 * sim.Millisecond)
+			cases := []failoverCase{
+				{"clean", nil, 0},
+				{"spine-down", &fault.Plan{Faults: []fault.Spec{
+					{Kind: fault.KindSwitchDown, Switch: &prim, Start: "52ms", End: "56ms"},
+				}}, outage},
+				{"blackout", &fault.Plan{Faults: []fault.Spec{
+					{Kind: fault.KindSwitchDown, Switch: &prim, Start: "52ms", End: "54ms"},
+					{Kind: fault.KindSwitchDown, Switch: &altn, Start: "52ms", End: "54ms"},
+				}}, outage},
+			}
+			var tables []*table.Table
+			g := bench.NewGroup("spine-outage goodput (4 -> 1 paced incast)")
+			for _, m := range provider.All() {
+				t := table.New(
+					fmt.Sprintf("%s: %dx%d 2KB reliable RDMA writes, spine outage at 52ms", m.Name, senders, msgs),
+					"Case", "Goodput (MB/s)", "Dip %", "Reroute (us)", "Rerouted", "Unroutable", "Retransmits", "Conn broken")
+				s := bench.NewSeries(m.Name, "case (0 clean, 1 spine-down, 2 blackout)", "goodput (MB/s)")
+				var clean float64
+				for ci, fc := range cases {
+					cfg := failoverConfig(sc, m)
+					cfg.Fault = fc.plan
+					r, err := FailoverRun(cfg, senders, msgs, size, fc.start)
+					if err != nil {
+						return nil, fmt.Errorf("xfailover %s %s: %w", m.Name, fc.name, err)
+					}
+					if fc.name == "clean" {
+						clean = r.MBps
+					}
+					dip := 0.0
+					if clean > 0 {
+						dip = (clean - r.MBps) / clean * 100
+					}
+					broken := "no"
+					if r.ConnBroken {
+						broken = "yes"
+					}
+					s.Add(float64(ci), r.MBps)
+					t.AddRow(fc.name, r.MBps, dip, r.RerouteLatencyUs,
+						float64(r.Rerouted), float64(r.Unroutable), float64(r.Retransmits), broken)
+				}
+				tables = append(tables, t)
+				g.Add(s)
+			}
+			return &Report{Groups: []*bench.Group{g}, Tables: tables, Notes: []string{
+				"Routes are picked per send, so a dead spine diverts traffic " +
+					"within one message gap (the reroute column is the lag from " +
+					"outage start to the first diverted packet) and nothing is " +
+					"lost — the goodput dip comes only from sharing the " +
+					"surviving spine. The blackout leaves cross-leaf packets " +
+					"unroutable for 2ms; shorter than every provider's " +
+					"retransmission ladder, so go-back-N absorbs it: " +
+					"retransmits rise, no error callback fires, and goodput " +
+					"recovers without operator-visible failures.",
+			}}, nil
+		},
+	}
+}

@@ -51,7 +51,7 @@ func Experiments() []*Experiment {
 		expT1(), expF1(), expF2(), expF3(), expF4(), expF5(), expF6(), expF7(),
 		expTCQ(),
 		expXSEG(), expXASY(), expXRDMA(), expXPIPE(), expXMTU(), expXREL(), expXLOSS(), expXFAULT(),
-		expXINCAST(), expXALLTOALL(), expXHOTSPOT(),
+		expXINCAST(), expXALLTOALL(), expXHOTSPOT(), expXFAILOVER(),
 		expPMMP(), expPMGP(), expPMEAGER(), expPMSOCK(), expPMDSM(),
 		expEXTPROV(),
 		expATLB(), expAXLAT(), expADOOR(), expAPOLL(),

@@ -20,6 +20,7 @@ type FaultOutcome struct {
 	RecvOK       uint64 // receives completed StatusSuccess
 	RecvFailed   uint64 // receives completed with an error status
 	PostRejected uint64 // PostSend calls refused (connection no longer usable)
+	Callbacks    uint64 // asynchronous error callbacks fired, both sides
 	ConnBroken   bool   // either side's error callback fired
 }
 
@@ -50,7 +51,10 @@ func FaultRun(cfg Config, size, msgs int, rel via.ReliabilityLevel) (FaultOutcom
 		}
 		sys.Eng.Stop()
 	}
-	onError := func(*via.Ctx, via.ErrorEvent) { out.ConnBroken = true }
+	onError := func(*via.Ctx, via.ErrorEvent) {
+		out.Callbacks++
+		out.ConnBroken = true
+	}
 
 	// Recovery from a mid-stream fault is bounded by the full backoff
 	// ladder; a drain longer than that means the descriptor is stuck.

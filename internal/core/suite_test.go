@@ -9,7 +9,7 @@ func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
 	wantIDs := []string{"T1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "TCQ",
 		"XSEG", "XASY", "XRDMA", "XPIPE", "XMTU", "XREL", "XLOSS", "XFAULT",
-		"XINCAST", "XALLTOALL", "XHOTSPOT",
+		"XINCAST", "XALLTOALL", "XHOTSPOT", "XFAILOVER",
 		"PMMP", "PMGP", "PMEAGER", "PMSOCK", "PMDSM", "EXTPROV",
 		"ATLB", "AXLAT", "ADOOR", "APOLL", "BREAK"}
 	if len(exps) != len(wantIDs) {

@@ -65,7 +65,26 @@ type Params struct {
 	// (whose Send return value moves out accordingly). 0 means unbounded
 	// ideal switches — the crossbar baseline behavior.
 	SwitchBufPkts int
+
+	// RoutePolicy selects how Send picks among a topology's candidate
+	// paths: "" or "failover" (deterministic — the primary path unless an
+	// element oracle reports a switch or inter-switch link down, then the
+	// first alive alternate in candidate order), or "adaptive"
+	// (least-queued — the alive candidate whose output ports carry the
+	// least pending work, ties to the lowest candidate index). With no
+	// oracle installed, failover is byte-identical to the pre-multipath
+	// single-path routing.
+	RoutePolicy string
 }
+
+// Route policies (see Params.RoutePolicy).
+const (
+	RouteFailover = "failover"
+	RouteAdaptive = "adaptive"
+)
+
+// RoutePolicyNames lists the route policies in canonical order.
+func RoutePolicyNames() []string { return []string{RouteFailover, RouteAdaptive} }
 
 // SerializationTime reports how long a payload of n bytes occupies a link.
 func (p *Params) SerializationTime(n int) sim.Duration {
@@ -155,6 +174,21 @@ func (f PacketFault) merge(g PacketFault) PacketFault {
 // index is the same global packet sequence number DropFilter sees.
 type PacketInjector interface {
 	InjectPacket(index uint64, now sim.Time, d *Delivery) PacketFault
+}
+
+// ElementOracle answers fabric-element liveness questions at an instant;
+// a compiled fault plan implements it for switch-down and
+// switch-link-down specs. Liveness is consulted synchronously when Send
+// resolves a route — packets already in flight deliver normally, the way
+// a real fabric drains wires behind a failing crossbar — and the oracle
+// must be a pure function of its arguments so both process models and
+// repeated runs see identical routes.
+type ElementOracle interface {
+	// SwitchDown reports whether switch s is dead at now.
+	SwitchDown(s int, now sim.Time) bool
+	// SwitchLinkDown reports whether the inter-switch link {a, b} is dead
+	// at now. Implementations must be order-insensitive in (a, b).
+	SwitchLinkDown(a, b int, now sim.Time) bool
 }
 
 type port struct {
@@ -308,12 +342,24 @@ type Network struct {
 	topo     Topology
 	switches []*swNode
 
-	// route/path are per-Send scratch (the engine is single-threaded).
+	// route/path/alt are per-Send scratch (the engine is single-threaded).
 	route []SwitchID
 	path  []*outPort
+	alt   []SwitchID
 
 	dropFilter DropFilter
 	injectors  []PacketInjector
+
+	// oracle (when installed) reports dead switches/links at route-pick
+	// time; adaptive selects the least-queued candidate path instead of
+	// the deterministic failover order.
+	oracle   ElementOracle
+	adaptive bool
+
+	// firstReroute is the instant the first packet left its primary path
+	// (valid when hasReroute).
+	firstReroute sim.Time
+	hasReroute   bool
 
 	// delFree recycles Delivery objects so the per-packet hot path does
 	// not allocate. Engine-local: the simulation is single-threaded.
@@ -328,6 +374,14 @@ type Network struct {
 	BytesSent  uint64
 	Duplicated uint64 // extra copies scheduled by injectors
 	Corrupted  uint64 // packets marked corrupt in flight
+
+	// Rerouted counts packets sent over a non-primary candidate path
+	// (failover around a dead element, or an adaptive least-queued pick);
+	// Unroutable counts packets dropped because every candidate path
+	// crossed a dead element. Unroutable drops are included in Dropped
+	// under DropCauseFault.
+	Rerouted   uint64
+	Unroutable uint64
 
 	droppedBy [dropCauses]uint64
 
@@ -346,6 +400,13 @@ func New(e *sim.Engine, n int, params Params) *Network {
 		panic("fabric: need at least one node")
 	}
 	nw := &Network{eng: e, params: params}
+	switch params.RoutePolicy {
+	case "", RouteFailover:
+	case RouteAdaptive:
+		nw.adaptive = true
+	default:
+		panic(fmt.Sprintf("fabric: unknown route policy %q", params.RoutePolicy))
+	}
 	for i := 0; i < n; i++ {
 		p := &port{
 			up:   sim.NewPipe(e),
@@ -390,6 +451,16 @@ func (nw *Network) SetDropFilter(f DropFilter) { nw.dropFilter = f }
 // random loss check.
 func (nw *Network) AddInjector(inj PacketInjector) {
 	nw.injectors = append(nw.injectors, inj)
+}
+
+// SetElementOracle installs (or, with nil, removes) the fabric-element
+// liveness oracle consulted at route-pick time.
+func (nw *Network) SetElementOracle(o ElementOracle) { nw.oracle = o }
+
+// FirstRerouteAt reports the instant the first packet left its primary
+// path, and whether any has.
+func (nw *Network) FirstRerouteAt() (sim.Time, bool) {
+	return nw.firstReroute, nw.hasReroute
 }
 
 // DroppedBy reports how many packets were dropped for the given cause.
@@ -604,8 +675,15 @@ func (nw *Network) sendLocal(sp *port, d *Delivery, ser, delay sim.Duration, cop
 // congested port stalls the whole upstream chain, emergently.
 func (nw *Network) sendRouted(sp *port, d *Delivery, ser, delay sim.Duration, copies int) sim.Time {
 	dp := nw.port(d.Dst)
-	route := nw.topo.Route(nw.route[:0], d.Src, d.Dst)
-	nw.route = route
+	route := nw.pickRoute(d.Src, d.Dst)
+	if route == nil {
+		// Every candidate path crosses a dead element: the packet is lost
+		// inside the fabric. The reliability layer sees it exactly like
+		// any injected loss — retransmission, then escalation if the
+		// outage outlasts the RTO ladder.
+		nw.Unroutable++
+		return nw.drop(sp, d, DropCauseFault, ser)
+	}
 	hops := len(route)
 
 	// Resolve the output queue each switch transmits from: queue i
@@ -667,6 +745,125 @@ func (nw *Network) sendRouted(sp *port, d *Delivery, ser, delay sim.Duration, co
 		nw.enqueue(dp, dc, ready)
 	}
 	return txDone
+}
+
+// pickRoute resolves the switch path a packet takes right now, applying
+// the route policy. With no oracle and the default failover policy this
+// is exactly the topology's primary route — the pre-multipath behavior,
+// byte for byte. It returns nil when every candidate path crosses a dead
+// element. The returned slice is nw.route scratch.
+func (nw *Network) pickRoute(src, dst NodeID) []SwitchID {
+	if nw.oracle == nil && !nw.adaptive {
+		nw.route = nw.topo.Route(nw.route[:0], src, dst)
+		return nw.route
+	}
+	now := nw.eng.Now()
+	n := nw.topo.AltRoutes(src, dst)
+	if !nw.adaptive {
+		for k := 0; k < n; k++ {
+			nw.route = nw.topo.AltRoute(nw.route[:0], src, dst, k)
+			if nw.pathAlive(nw.route, now) {
+				if k > 0 {
+					nw.noteReroute(now)
+				}
+				return nw.route
+			}
+		}
+		return nil
+	}
+	best := -1
+	var bestCost sim.Duration
+	for k := 0; k < n; k++ {
+		nw.alt = nw.topo.AltRoute(nw.alt[:0], src, dst, k)
+		if !nw.pathAlive(nw.alt, now) {
+			continue
+		}
+		if c := nw.pathCost(nw.alt, dst, now); best < 0 || c < bestCost {
+			best, bestCost = k, c
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	if best > 0 {
+		nw.noteReroute(now)
+	}
+	nw.route = nw.topo.AltRoute(nw.route[:0], src, dst, best)
+	return nw.route
+}
+
+// pathAlive reports whether every switch and inter-switch link on the
+// route is up according to the oracle (trivially true without one).
+func (nw *Network) pathAlive(route []SwitchID, now sim.Time) bool {
+	if nw.oracle == nil {
+		return true
+	}
+	for i, s := range route {
+		if nw.oracle.SwitchDown(int(s), now) {
+			return false
+		}
+		if i > 0 && nw.oracle.SwitchLinkDown(int(route[i-1]), int(s), now) {
+			return false
+		}
+	}
+	return true
+}
+
+// pathCost is the adaptive policy's congestion estimate for a candidate
+// path: the pending transmit work on each hop's output port (serializer
+// busy time past now plus the residual occupancy of every claimed buffer
+// slot). Ports no traffic has used yet cost nothing; the map is read
+// without instantiating them, so probing a path leaves no trace.
+func (nw *Network) pathCost(route []SwitchID, dst NodeID, now sim.Time) sim.Duration {
+	var cost sim.Duration
+	hops := len(route)
+	for i, s := range route {
+		key := len(nw.switches) + int(dst)
+		if i+1 < hops {
+			key = int(route[i+1])
+		}
+		q := nw.switches[s].outs[key]
+		if q == nil {
+			continue
+		}
+		if free := q.pipe.FreeAt(); free > now {
+			cost += free.Sub(now)
+		}
+		for _, r := range q.rel {
+			if r > now && r != timeNever {
+				cost += r.Sub(now)
+			}
+		}
+	}
+	return cost
+}
+
+// noteReroute accounts one packet leaving its primary path.
+func (nw *Network) noteReroute(now sim.Time) {
+	nw.Rerouted++
+	if !nw.hasReroute {
+		nw.hasReroute = true
+		nw.firstReroute = now
+	}
+}
+
+// LeakedCredits reports switch buffer slots still holding the in-flight
+// claim sentinel. Send resolves every claim and release synchronously
+// within one call, so a nonzero count between Sends means a claimed slot
+// was never released — a credit leak that would throttle the port
+// forever.
+func (nw *Network) LeakedCredits() int {
+	n := 0
+	for _, sw := range nw.switches {
+		for _, q := range sw.outs {
+			for _, r := range q.rel {
+				if r == timeNever {
+					n++
+				}
+			}
+		}
+	}
+	return n
 }
 
 // deliverNow hands one packet to a node's inbox with the fabric's

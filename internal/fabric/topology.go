@@ -7,7 +7,7 @@ type SwitchID int
 
 // Topology describes the switch graph of the interconnect: how many
 // switches exist, which switch each host hangs off, and the
-// deterministic switch path between any two hosts. Implementations must
+// deterministic switch paths between any two hosts. Implementations must
 // be pure functions of their construction parameters — routing decisions
 // consume no randomness and depend on no traffic state — so simulations
 // stay byte-reproducible across runs and process models.
@@ -26,6 +26,20 @@ type Topology interface {
 	// switch-to-switch link. It is never empty and never called with
 	// src == dst (loopback is NIC-local and skips the fabric).
 	Route(buf []SwitchID, src, dst NodeID) []SwitchID
+
+	// AltRoutes reports how many candidate paths the topology enumerates
+	// from src to dst (always >= 1). Candidate 0 is the primary path
+	// Route returns; higher candidates are deterministic alternates the
+	// routing policy can fail over to (other fat-tree spines, the other
+	// torus ring direction, dragonfly detours through a third router or
+	// group). Alternates need not be minimal, but obey the same physical-
+	// link contract as Route.
+	AltRoutes(src, dst NodeID) int
+
+	// AltRoute appends candidate k (0 <= k < AltRoutes(src, dst)) of the
+	// src->dst paths to buf and returns the extended slice. AltRoute with
+	// k == 0 is exactly Route.
+	AltRoute(buf []SwitchID, src, dst NodeID, k int) []SwitchID
 }
 
 // BuildTopology constructs the topology p selects for a fabric of the
@@ -91,6 +105,14 @@ func (Crossbar) Route(buf []SwitchID, _, _ NodeID) []SwitchID {
 	return append(buf, 0)
 }
 
+// AltRoutes implements Topology: a single switch has a single path.
+func (Crossbar) AltRoutes(_, _ NodeID) int { return 1 }
+
+// AltRoute implements Topology.
+func (Crossbar) AltRoute(buf []SwitchID, _, _ NodeID, _ int) []SwitchID {
+	return append(buf, 0)
+}
+
 // FatTree is a two-level folded Clos: leaves attach hosts, spines
 // connect leaves. The arity sets both the hosts per leaf and the spine
 // count (each leaf has one uplink per spine), so the tree has full
@@ -126,11 +148,28 @@ func (t *FatTree) HostSwitch(h NodeID) SwitchID { return SwitchID(int(h) / t.ari
 // all traffic toward one host on one spine — the worst case for incast,
 // which is exactly the congestion the routed fabric exists to surface.
 func (t *FatTree) Route(buf []SwitchID, src, dst NodeID) []SwitchID {
+	return t.AltRoute(buf, src, dst, 0)
+}
+
+// AltRoutes implements Topology: cross-leaf pairs have one candidate per
+// spine (every leaf uplinks to every spine), same-leaf pairs just one.
+func (t *FatTree) AltRoutes(src, dst NodeID) int {
+	if t.HostSwitch(src) == t.HostSwitch(dst) {
+		return 1
+	}
+	return t.arity
+}
+
+// AltRoute implements Topology: candidate k rotates the spine selection
+// to (dst+k) mod arity, so candidate 0 is the D-mod-k primary and the
+// remaining k-1 spines are the failover/adaptive alternates that put the
+// otherwise-idle spines to work.
+func (t *FatTree) AltRoute(buf []SwitchID, src, dst NodeID, k int) []SwitchID {
 	ls, ld := t.HostSwitch(src), t.HostSwitch(dst)
 	if ls == ld {
 		return append(buf, ls)
 	}
-	spine := SwitchID(t.leaves + int(dst)%t.arity)
+	spine := SwitchID(t.leaves + (int(dst)+k)%t.arity)
 	return append(buf, ls, spine, ld)
 }
 
@@ -181,23 +220,84 @@ func (t *Dragonfly) gateway(g, j int) SwitchID {
 // the direct local link; inter-group pairs hop to the source group's
 // gateway, cross the global link, and hop to the destination router.
 func (t *Dragonfly) Route(buf []SwitchID, src, dst NodeID) []SwitchID {
+	return t.AltRoute(buf, src, dst, 0)
+}
+
+// AltRoutes implements Topology. Same-router pairs have one path.
+// Intra-group pairs can detour through any third router of the group
+// (full local connectivity). Inter-group pairs can take a Valiant-style
+// detour through any intermediate group, riding its two global links.
+func (t *Dragonfly) AltRoutes(src, dst NodeID) int {
+	rs, rd := t.HostSwitch(src), t.HostSwitch(dst)
+	if rs == rd {
+		return 1
+	}
+	if int(rs)/t.a == int(rd)/t.a {
+		return 1 + t.a - 2 // the direct link plus one detour per third router
+	}
+	return 1 + t.groups - 2 // minimal plus one detour per intermediate group
+}
+
+// AltRoute implements Topology: candidate 0 is the minimal route;
+// candidate k > 0 is the k-th detour in ascending router/group index
+// order (skipping the endpoints), deduplicating consecutive repeats when
+// a gateway coincides with an endpoint router.
+func (t *Dragonfly) AltRoute(buf []SwitchID, src, dst NodeID, k int) []SwitchID {
 	rs, rd := t.HostSwitch(src), t.HostSwitch(dst)
 	gs, gd := int(rs)/t.a, int(rd)/t.a
-	buf = append(buf, rs)
+	if rs == rd {
+		return append(buf, rs)
+	}
 	if gs == gd {
-		if rd != rs {
-			buf = append(buf, rd)
+		if k == 0 {
+			return append(buf, rs, rd)
 		}
-		return buf
+		// k-th router of the group that is neither endpoint.
+		rt := SwitchID(gs * t.a)
+		for n := k; ; rt++ {
+			if rt == rs || rt == rd {
+				continue
+			}
+			if n--; n == 0 {
+				break
+			}
+		}
+		return append(buf, rs, rt, rd)
 	}
-	ga, gb := t.gateway(gs, gd), t.gateway(gd, gs)
-	if ga != rs {
-		buf = append(buf, ga)
+	gm := gd // candidate 0: straight to the destination group
+	if k > 0 {
+		// k-th group that is neither source nor destination.
+		gm = 0
+		for n := k; ; gm++ {
+			if gm == gs || gm == gd {
+				continue
+			}
+			if n--; n == 0 {
+				break
+			}
+		}
 	}
-	buf = append(buf, gb)
-	if rd != gb {
-		buf = append(buf, rd)
+	return t.appendVia(buf, rs, rd, gs, gd, gm)
+}
+
+// appendVia builds rs -> (group gm) -> rd, collapsing consecutive
+// duplicates: local hop to the gm gateway, global link into gm, local
+// hop across gm to its gd gateway (skipped when gm == gd), global link
+// onward, local hop to rd.
+func (t *Dragonfly) appendVia(buf []SwitchID, rs, rd SwitchID, gs, gd, gm int) []SwitchID {
+	buf = append(buf, rs)
+	add := func(s SwitchID) {
+		if buf[len(buf)-1] != s {
+			buf = append(buf, s)
+		}
 	}
+	add(t.gateway(gs, gm))
+	add(t.gateway(gm, gs))
+	if gm != gd {
+		add(t.gateway(gm, gd))
+		add(t.gateway(gd, gm))
+	}
+	add(rd)
 	return buf
 }
 
@@ -256,20 +356,69 @@ func (t *Torus3D) step(v, goal int) int {
 // Route implements Topology with dimension-order routing, appending
 // every intermediate switch on the walk.
 func (t *Torus3D) Route(buf []SwitchID, src, dst NodeID) []SwitchID {
+	return t.AltRoute(buf, src, dst, 0)
+}
+
+// AltRoutes implements Topology: one candidate per combination of ring
+// directions over the dimensions the route moves in. On a side-2 ring
+// both directions are the same single hop, so only sides > 2 contribute
+// alternates (the long way around is a different physical path there).
+func (t *Torus3D) AltRoutes(src, dst NodeID) int {
+	if t.side <= 2 {
+		return 1
+	}
+	x, y, z := t.coords(t.HostSwitch(src))
+	gx, gy, gz := t.coords(t.HostSwitch(dst))
+	n := 1
+	if x != gx {
+		n *= 2
+	}
+	if y != gy {
+		n *= 2
+	}
+	if z != gz {
+		n *= 2
+	}
+	return n
+}
+
+// AltRoute implements Topology: k is a bitmask over the moving
+// dimensions in X, Y, Z order; a set bit walks that ring the other way
+// around (the non-minimal direction, a disjoint set of links). Candidate
+// 0 takes every ring the shorter way with ties toward +1 — exactly
+// Route's dimension-order walk.
+func (t *Torus3D) AltRoute(buf []SwitchID, src, dst NodeID, k int) []SwitchID {
 	cur, goal := t.HostSwitch(src), t.HostSwitch(dst)
 	buf = append(buf, cur)
 	x, y, z := t.coords(cur)
 	gx, gy, gz := t.coords(goal)
+	dir := func(v, g int) int {
+		if v == g {
+			return 0
+		}
+		d := 1
+		if fwd := ((g - v) + t.side) % t.side; fwd > t.side-fwd {
+			d = -1
+		}
+		if t.side > 2 {
+			if k&1 == 1 {
+				d = -d
+			}
+			k >>= 1
+		}
+		return d
+	}
+	dx, dy, dz := dir(x, gx), dir(y, gy), dir(z, gz)
 	for x != gx {
-		x = t.step(x, gx)
+		x = (x + dx + t.side) % t.side
 		buf = append(buf, t.id(x, y, z))
 	}
 	for y != gy {
-		y = t.step(y, gy)
+		y = (y + dy + t.side) % t.side
 		buf = append(buf, t.id(x, y, z))
 	}
 	for z != gz {
-		z = t.step(z, gz)
+		z = (z + dz + t.side) % t.side
 		buf = append(buf, t.id(x, y, z))
 	}
 	return buf

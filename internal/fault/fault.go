@@ -1,9 +1,10 @@
 // Package fault implements deterministic, virtual-time fault injection
 // for the simulated cluster. A Plan is a typed list of fault specs —
 // targeted packet drops, corruption, duplication, reorder delays, jitter,
-// time-windowed link outages, and NIC doorbell/DMA stalls — loaded from
-// scenario JSON and compiled into an Injector that hooks the fabric's
-// packet path and the NIC models' command/DMA paths.
+// time-windowed link/switch/inter-switch-link outages, and NIC
+// doorbell/DMA stalls — loaded from scenario JSON and compiled into an
+// Injector that hooks the fabric's packet path, its route-liveness
+// oracle, and the NIC models' command/DMA paths.
 //
 // Everything is driven by virtual time and a plan-local seeded RNG, so a
 // fault plan replays identically run after run: the same packets drop,
@@ -23,8 +24,10 @@ import (
 	"vibe/internal/sim"
 )
 
-// Fault kinds. Packet kinds act in the fabric's send path; stall kinds
-// act in the NIC models.
+// Fault kinds. Packet kinds act in the fabric's send path; element kinds
+// kill fabric switches or inter-switch links for a virtual-time window
+// (the routing layer steers around or drops); stall kinds act in the NIC
+// models.
 const (
 	KindDropNth   = "drop-nth"   // drop the packet with sequence number Nth
 	KindDropRange = "drop-range" // drop packets with From <= seq <= To
@@ -35,27 +38,36 @@ const (
 	KindJitter    = "jitter"     // hold matching packets for uniform [0, Delay)
 	KindLinkDown  = "link-down"  // drop everything touching Port during [Start, End)
 
+	KindSwitchDown     = "switch-down"      // switch Switch is dead during [Start, End)
+	KindSwitchLinkDown = "switch-link-down" // inter-switch link Link is dead during [Start, End)
+
 	KindDoorbellStall = "doorbell-stall" // stall the NIC's doorbell/command engine by Delay
 	KindDMAStall      = "dma-stall"      // stall each NIC DMA transfer by Delay
 )
 
-// packetKinds and stallKinds partition the kind namespace.
+// packetKinds, elementKinds and stallKinds partition the kind namespace.
 var packetKinds = map[string]bool{
 	KindDropNth: true, KindDropRange: true, KindDrop: true,
 	KindCorrupt: true, KindDuplicate: true, KindDelay: true,
 	KindJitter: true, KindLinkDown: true,
 }
 
+var elementKinds = map[string]bool{
+	KindSwitchDown: true, KindSwitchLinkDown: true,
+}
+
 var stallKinds = map[string]bool{
 	KindDoorbellStall: true, KindDMAStall: true,
 }
 
-// Kinds lists every fault kind, packet kinds first — the canonical order
-// for sweeps and reports.
+// Kinds lists every fault kind — packet kinds, then element kinds, then
+// stall kinds — the canonical order for sweeps and reports.
 func Kinds() []string {
 	return []string{
 		KindDropNth, KindDropRange, KindDrop, KindCorrupt, KindDuplicate,
-		KindDelay, KindJitter, KindLinkDown, KindDoorbellStall, KindDMAStall,
+		KindDelay, KindJitter, KindLinkDown,
+		KindSwitchDown, KindSwitchLinkDown,
+		KindDoorbellStall, KindDMAStall,
 	}
 }
 
@@ -71,6 +83,13 @@ type Spec struct {
 	// transmitting node (link-down also matches the receiving side), for
 	// stall kinds the NIC. Nil matches every node.
 	Port *int `json:"port,omitempty"`
+
+	// Switch (switch-down) selects the dead switch by topology switch
+	// index; Link (switch-link-down) selects the dead inter-switch link
+	// as its two switch endpoints, order-insensitive. Element outages are
+	// deterministic: no Prob, no Count — the window is the whole story.
+	Switch *int  `json:"switch,omitempty"`
+	Link   []int `json:"link,omitempty"`
 
 	// Nth (drop-nth) and From/To (drop-range) select packets by the
 	// fabric's global sequence number.
@@ -159,14 +178,65 @@ type cspec struct {
 	start    sim.Time
 	end      sim.Time // 0: unbounded
 
+	// Element selectors: the dead switch (switch-down) or the dead
+	// inter-switch link's endpoints, normalized linkA < linkB.
+	swid         int
+	linkA, linkB int
+
 	applied uint64
 }
 
 // compileSpec validates and lowers one spec.
 func compileSpec(s *Spec) (*cspec, error) {
 	c := &cspec{kind: s.Kind, port: -1, count: s.Count, prob: s.Prob}
-	if !packetKinds[s.Kind] && !stallKinds[s.Kind] {
+	if !packetKinds[s.Kind] && !elementKinds[s.Kind] && !stallKinds[s.Kind] {
 		return nil, fmt.Errorf("unknown kind %q", s.Kind)
+	}
+	if elementKinds[s.Kind] {
+		if s.Port != nil {
+			return nil, fmt.Errorf("%s: port does not apply (use switch/link selectors)", s.Kind)
+		}
+		if s.Prob != 0 {
+			return nil, fmt.Errorf("%s: element outages are deterministic, prob does not apply", s.Kind)
+		}
+		if s.Count != 0 {
+			return nil, fmt.Errorf("%s: count does not apply, bound the outage with start/end", s.Kind)
+		}
+		switch s.Kind {
+		case KindSwitchDown:
+			if s.Link != nil {
+				return nil, fmt.Errorf("%s: link applies only to %s", s.Kind, KindSwitchLinkDown)
+			}
+			if s.Switch == nil {
+				return nil, fmt.Errorf("%s: switch is required", s.Kind)
+			}
+			if *s.Switch < 0 {
+				return nil, fmt.Errorf("%s: negative switch %d", s.Kind, *s.Switch)
+			}
+			c.swid = *s.Switch
+		case KindSwitchLinkDown:
+			if s.Switch != nil {
+				return nil, fmt.Errorf("%s: switch applies only to %s", s.Kind, KindSwitchDown)
+			}
+			if len(s.Link) != 2 {
+				return nil, fmt.Errorf("%s: link needs exactly two switch endpoints, got %d", s.Kind, len(s.Link))
+			}
+			a, b := s.Link[0], s.Link[1]
+			if a < 0 || b < 0 {
+				return nil, fmt.Errorf("%s: negative link endpoint in %v", s.Kind, s.Link)
+			}
+			if a == b {
+				return nil, fmt.Errorf("%s: link endpoints must differ, got %v", s.Kind, s.Link)
+			}
+			if a > b {
+				a, b = b, a
+			}
+			c.linkA, c.linkB = a, b
+		}
+	} else if s.Switch != nil {
+		return nil, fmt.Errorf("%s: switch applies only to %s", s.Kind, KindSwitchDown)
+	} else if s.Link != nil {
+		return nil, fmt.Errorf("%s: link applies only to %s", s.Kind, KindSwitchLinkDown)
 	}
 	if s.Port != nil {
 		if *s.Port < 0 {
@@ -274,10 +344,11 @@ const (
 // Injectors are engine-local and not safe for concurrent use — exactly
 // like the rest of a simulation's state.
 type Injector struct {
-	rng    *rand.Rand
-	packet []*cspec
-	stall  []*cspec
-	counts map[string]uint64
+	rng     *rand.Rand
+	packet  []*cspec
+	element []*cspec
+	stall   []*cspec
+	counts  map[string]uint64
 }
 
 // NewInjector compiles the plan into a fresh injector. The plan must have
@@ -298,9 +369,12 @@ func (p *Plan) NewInjector() *Injector {
 			if err != nil {
 				panic(fmt.Sprintf("fault: NewInjector on unvalidated plan: %v", err))
 			}
-			if packetKinds[c.kind] {
+			switch {
+			case packetKinds[c.kind]:
 				inj.packet = append(inj.packet, c)
-			} else {
+			case elementKinds[c.kind]:
+				inj.element = append(inj.element, c)
+			default:
 				inj.stall = append(inj.stall, c)
 			}
 		}
@@ -393,6 +467,39 @@ func (inj *Injector) Stall(site Site, node int, now sim.Time) sim.Duration {
 // HasStalls reports whether any stall spec exists, so NIC hot paths can
 // skip the hook entirely for packet-only plans.
 func (inj *Injector) HasStalls() bool { return len(inj.stall) > 0 }
+
+// HasElementFaults reports whether the plan declares any switch or
+// inter-switch-link outage, so systems only install the routing oracle
+// when one exists (an oracle-free fabric routes on the exact
+// pre-multipath path).
+func (inj *Injector) HasElementFaults() bool { return len(inj.element) > 0 }
+
+// SwitchDown implements fabric.ElementOracle: whether any switch-down
+// spec covers switch s at now. Element checks are pure — no RNG draw, no
+// counter — so route decisions replay identically across process models
+// and repeated runs.
+func (inj *Injector) SwitchDown(s int, now sim.Time) bool {
+	for _, c := range inj.element {
+		if c.kind == KindSwitchDown && c.swid == s && c.active(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// SwitchLinkDown implements fabric.ElementOracle: whether any
+// switch-link-down spec covers the link {a, b} at now, order-insensitive.
+func (inj *Injector) SwitchLinkDown(a, b int, now sim.Time) bool {
+	if a > b {
+		a, b = b, a
+	}
+	for _, c := range inj.element {
+		if c.kind == KindSwitchLinkDown && c.linkA == a && c.linkB == b && c.active(now) {
+			return true
+		}
+	}
+	return false
+}
 
 // Counts returns how often each fault kind fired, for metrics.
 func (inj *Injector) Counts() map[string]uint64 { return inj.counts }

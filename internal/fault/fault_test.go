@@ -261,3 +261,120 @@ func TestRandomPlanSeededAndValid(t *testing.T) {
 		t.Fatalf("RandomPlan(7) not deterministic:\n%s\n%s", aj, bj)
 	}
 }
+
+func TestElementSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"switch missing", Spec{Kind: KindSwitchDown}, "switch is required"},
+		{"negative switch", Spec{Kind: KindSwitchDown, Switch: pint(-2)}, "negative switch"},
+		{"link on switch-down", Spec{Kind: KindSwitchDown, Switch: pint(1), Link: []int{0, 1}}, "link applies only"},
+		{"port on element", Spec{Kind: KindSwitchDown, Switch: pint(1), Port: pint(0)}, "port does not apply"},
+		{"prob on element", Spec{Kind: KindSwitchDown, Switch: pint(1), Prob: 0.5}, "deterministic"},
+		{"count on element", Spec{Kind: KindSwitchDown, Switch: pint(1), Count: 3}, "count does not apply"},
+		{"one endpoint", Spec{Kind: KindSwitchLinkDown, Link: []int{4}}, "exactly two"},
+		{"equal endpoints", Spec{Kind: KindSwitchLinkDown, Link: []int{4, 4}}, "must differ"},
+		{"negative endpoint", Spec{Kind: KindSwitchLinkDown, Link: []int{-1, 4}}, "negative link endpoint"},
+		{"switch on link-down", Spec{Kind: KindSwitchLinkDown, Link: []int{0, 1}, Switch: pint(0)}, "switch applies only"},
+		{"switch on packet kind", Spec{Kind: KindDrop, Switch: pint(1)}, "switch applies only"},
+		{"link on packet kind", Spec{Kind: KindDrop, Link: []int{0, 1}}, "link applies only"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := (&Plan{Faults: []Spec{tc.spec}}).Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestElementOracleWindowsAndSelectors(t *testing.T) {
+	// The link spec is deliberately given endpoints in descending order:
+	// the oracle must answer for both orders anyway.
+	inj := mustInjector(t, &Plan{Faults: []Spec{
+		{Kind: KindSwitchDown, Switch: pint(2), Start: "1ms", End: "2ms"},
+		{Kind: KindSwitchLinkDown, Link: []int{5, 3}, Start: "1ms", End: "2ms"},
+	}})
+	if !inj.HasElementFaults() {
+		t.Fatal("HasElementFaults false with element specs")
+	}
+	in := sim.Time(0).Add(1500 * sim.Microsecond)
+	before := sim.Time(0).Add(500 * sim.Microsecond)
+	at := sim.Time(0).Add(sim.Millisecond)
+	end := sim.Time(0).Add(2 * sim.Millisecond)
+	if !inj.SwitchDown(2, in) || !inj.SwitchDown(2, at) {
+		t.Fatal("switch 2 not down inside the window (start inclusive)")
+	}
+	if inj.SwitchDown(2, before) || inj.SwitchDown(2, end) {
+		t.Fatal("switch 2 down outside the window (end must be exclusive)")
+	}
+	if inj.SwitchDown(3, in) {
+		t.Fatal("outage leaked to another switch")
+	}
+	if !inj.SwitchLinkDown(3, 5, in) || !inj.SwitchLinkDown(5, 3, in) {
+		t.Fatal("link {3,5} liveness is order-sensitive")
+	}
+	if inj.SwitchLinkDown(3, 4, in) {
+		t.Fatal("outage leaked to another link")
+	}
+	// Element outages are routing facts, not packet verdicts: the packet
+	// chain must ignore them entirely.
+	if f := inj.InjectPacket(0, in, delivery(0, 1)); f != (fabric.PacketFault{}) {
+		t.Fatalf("element spec produced a packet verdict: %+v", f)
+	}
+
+	packetOnly := mustInjector(t, &Plan{Faults: []Spec{{Kind: KindDrop}}})
+	if packetOnly.HasElementFaults() {
+		t.Fatal("HasElementFaults true for packet-only plan")
+	}
+}
+
+func TestRandomTopoPlanSeededAndValid(t *testing.T) {
+	sawElement := false
+	for seed := int64(0); seed < 100; seed++ {
+		p := RandomTopoPlan(seed, 4, 6)
+		if p.Empty() {
+			t.Fatalf("seed %d: empty plan", seed)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, s := range p.Faults {
+			switch s.Kind {
+			case KindSwitchDown:
+				sawElement = true
+				if *s.Switch < 0 || *s.Switch >= 6 {
+					t.Fatalf("seed %d: switch %d out of range", seed, *s.Switch)
+				}
+			case KindSwitchLinkDown:
+				sawElement = true
+				if s.Link[0] == s.Link[1] || s.Link[0] >= 6 || s.Link[1] >= 6 {
+					t.Fatalf("seed %d: bad link %v", seed, s.Link)
+				}
+			}
+		}
+	}
+	if !sawElement {
+		t.Fatal("100 topo plans over 6 switches drew no element outage")
+	}
+	aj, _ := json.Marshal(RandomTopoPlan(7, 4, 6))
+	bj, _ := json.Marshal(RandomTopoPlan(7, 4, 6))
+	if string(aj) != string(bj) {
+		t.Fatalf("RandomTopoPlan(7) not deterministic:\n%s\n%s", aj, bj)
+	}
+	// A single-switch fabric has no redundant elements to kill: topo plans
+	// degrade to the legacy kind pool.
+	for seed := int64(0); seed < 50; seed++ {
+		for _, s := range RandomTopoPlan(seed, 2, 1).Faults {
+			if elementKinds[s.Kind] {
+				t.Fatalf("seed %d: element kind %s on a single-switch fabric", seed, s.Kind)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"testing"
 
+	"vibe/internal/fabric"
 	"vibe/internal/fault"
 	"vibe/internal/provider"
 	"vibe/internal/sim"
@@ -124,7 +125,46 @@ func TestProcModelEquivalenceTopologies(t *testing.T) {
 				diffFingerprints(t, topo, g, a)
 			})
 		}
+		// A deterministic switch outage followed by an inter-switch link
+		// outage, both shorter than the RTO ladder: with one host per
+		// switch every 0<->1 route dies during the windows, so the
+		// unroutable-drop and retransmission-recovery paths must stay
+		// byte-identical across process models too.
+		t.Run(topo+"/element-outage", func(t *testing.T) {
+			plan := elementOutagePlan(topo)
+			g := runFingerprint(t, ModelGoroutine, model(), 1, plan, 12, 1200)
+			a := runFingerprint(t, ModelActor, model(), 1, plan, 12, 1200)
+			diffFingerprints(t, topo, g, a)
+		})
+		// Seeded topology-aware random plans mix element outages with the
+		// legacy packet/stall kinds.
+		for seed := int64(0); seed < 3; seed++ {
+			seed := seed
+			t.Run(topo+"/topo-faults-"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+				switches := fabric.BuildTopology(model().Network, 2).Switches()
+				g := runFingerprint(t, ModelGoroutine, model(), seed+1, fault.RandomTopoPlan(seed, 2, switches), 12, 1200)
+				a := runFingerprint(t, ModelActor, model(), seed+1, fault.RandomTopoPlan(seed, 2, switches), 12, 1200)
+				diffFingerprints(t, topo, g, a)
+			})
+		}
 	}
+}
+
+// elementOutagePlan builds the deterministic switch-down +
+// switch-link-down plan for one of the degree-1 two-host equivalence
+// topologies, targeting elements every 0<->1 route crosses (the fat-tree
+// spine is switch 2; the other graphs attach host 1 at switch 1).
+func elementOutagePlan(topo string) *fault.Plan {
+	sw := 1
+	link := []int{0, 1}
+	if topo == "fattree" {
+		sw = 2
+		link = []int{0, 2}
+	}
+	return &fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindSwitchDown, Switch: &sw, Start: "2ms", End: "3ms"},
+		{Kind: fault.KindSwitchLinkDown, Link: link, Start: "3500us", End: "4500us"},
+	}}
 }
 
 // TestProcModelEquivalenceFaults is the adversarial version: 24 seeded

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"testing"
 
+	"vibe/internal/fabric"
 	"vibe/internal/fault"
 	"vibe/internal/provider"
 	"vibe/internal/sim"
@@ -317,143 +318,240 @@ func chaosPlans() int {
 	return 50
 }
 
-// TestChaosSoak throws seeded random fault plans at a streaming workload
-// and checks the invariants that must survive arbitrary faults: the
-// simulation always terminates (every wait is bounded, so a hang is a
-// deadlock and Run reports it), reliable levels deliver in order without
-// gaps or duplicates, and any successfully completed receive carries
-// exactly the bytes of one sent message.
-func TestChaosSoak(t *testing.T) {
+// runChaosCase drives one seeded chaos iteration: a 2-host streaming
+// workload over the given model under the given plan, checking the
+// invariants that must survive arbitrary faults — the simulation always
+// terminates (every wait is bounded, so a hang is a deadlock and Run
+// reports it), reliable levels deliver in order without gaps or
+// duplicates, any successfully completed receive carries exactly the
+// bytes of one sent message, fabric packet accounting conserves
+// (delivered = sent - dropped + duplicated), and no switch buffer credit
+// leaks.
+func runChaosCase(t *testing.T, m *provider.Model, plan *fault.Plan, seed int, rel ReliabilityLevel) *System {
 	const (
 		msgs = 16
 		size = 1200
 	)
+	sys := NewSystem(m, 2, int64(seed)+1)
+	sys.InstallFaults(plan)
+	sys.EnableSpans(1)
+	base := byte(seed * 7)
+
+	sys.Go(0, "chaos-client", func(ctx *Ctx) {
+		nic := ctx.OpenNic()
+		nic.SetErrorCallback(func(*Ctx, ErrorEvent) {})
+		vi, err := nic.CreateVi(ctx, ViAttributes{Reliability: rel}, nil, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Faults may eat the handshake; that is a valid outcome,
+		// not a failure.
+		if err := vi.ConnectRequest(ctx, 1, "chaos", 100*sim.Millisecond); err != nil {
+			return
+		}
+		buf := ctx.Malloc(size)
+		h, err := nic.RegisterMem(ctx, buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			// The buffer is reused, so each message waits for its
+			// completion before the next refill (retransmissions
+			// resend the NIC's own payload snapshot, so completed
+			// buffers are free to reuse).
+			buf.FillPattern(base + byte(i))
+			if err := vi.PostSend(ctx, SimpleSend(buf, h, size)); err != nil {
+				return // connection broke: acceptable
+			}
+			d, err := vi.SendWait(ctx, sim.Second)
+			if err != nil || d.Status != StatusSuccess {
+				return // broken or stuck: acceptable, but stops cleanly
+			}
+		}
+	})
+
+	sys.Go(1, "chaos-server", func(ctx *Ctx) {
+		nic := ctx.OpenNic()
+		nic.SetErrorCallback(func(*Ctx, ErrorEvent) {})
+		vi, err := nic.CreateVi(ctx, ViAttributes{Reliability: rel}, nil, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		bufs := make(map[*Descriptor]*vmem.Buffer, msgs)
+		for i := 0; i < msgs; i++ {
+			b := ctx.Malloc(size)
+			h, err := nic.RegisterMem(ctx, b)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			d := SimpleRecv(b, h, size)
+			bufs[d] = b
+			if err := vi.PostRecv(ctx, d); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		req, err := nic.ConnectWait(ctx, "chaos", 100*sim.Millisecond)
+		if err != nil {
+			return // handshake eaten by the plan
+		}
+		if err := req.Accept(ctx, vi); err != nil {
+			return
+		}
+		delivered := 0
+		for i := 0; i < msgs; i++ {
+			d, err := vi.RecvWait(ctx, 200*sim.Millisecond)
+			if err != nil {
+				break // lost tail (timeout) or empty flushed queue
+			}
+			if d.Status != StatusSuccess {
+				continue // flushed descriptors carry no data
+			}
+			if d.Length != size {
+				t.Errorf("delivery %d: length %d, want %d", i, d.Length, size)
+				continue
+			}
+			b := bufs[d]
+			if b == nil {
+				t.Errorf("delivery %d: unknown descriptor", i)
+				continue
+			}
+			// Recover which message this is from its first pattern
+			// byte, then verify the whole payload.
+			idx := int(b.Bytes()[0] - base)
+			if idx < 0 || idx >= msgs {
+				t.Errorf("delivery %d: unknown pattern seed %#x", i, b.Bytes()[0])
+				continue
+			}
+			if err := b.CheckPattern(base+byte(idx), size); err != nil {
+				t.Errorf("delivery %d corrupted: %v", i, err)
+			}
+			if rel.Reliable() && idx != delivered {
+				t.Errorf("reliable delivery %d out of order: got message %d, want %d", i, idx, delivered)
+			}
+			delivered++
+		}
+	})
+
+	if err := sys.Run(); err != nil {
+		t.Fatalf("plan %d (%s) did not terminate cleanly: %v", seed, rel, err)
+	}
+	// Span accounting must survive whatever the plan did: no
+	// double-closes ever, and no more closes than opens. (Workloads
+	// here bail out without disconnecting when faults break the
+	// connection, so still-queued descriptors legitimately hold
+	// open spans — see TestSpanIntegrityUnderFaults for the
+	// balanced-teardown variant.)
+	opened, closed, doubles := sys.SpanStats()
+	if doubles != 0 {
+		t.Errorf("plan %d (%s): %d double-closed spans", seed, rel, doubles)
+	}
+	if closed > opened {
+		t.Errorf("plan %d (%s): closed %d spans but opened only %d", seed, rel, closed, opened)
+	}
+	// Fabric packet conservation and the credit-leak audit: whatever the
+	// plan dropped, duplicated or severed — on any route shape — every
+	// packet is accounted for and every claimed switch buffer slot was
+	// released.
+	if got, want := sys.Net.Delivered, sys.Net.Sent-sys.Net.Dropped+sys.Net.Duplicated; got != want {
+		t.Errorf("plan %d (%s): delivered %d, want sent-dropped+duplicated = %d", seed, rel, got, want)
+	}
+	if n := sys.Net.LeakedCredits(); n != 0 {
+		t.Errorf("plan %d (%s): %d switch buffer credits leaked", seed, rel, n)
+	}
+	return sys
+}
+
+// TestChaosSoak throws seeded random fault plans at the crossbar
+// streaming workload — see runChaosCase for the invariants.
+func TestChaosSoak(t *testing.T) {
 	levels := []ReliabilityLevel{Unreliable, ReliableDelivery, ReliableReception}
 	for seed := 0; seed < chaosPlans(); seed++ {
 		plan := fault.RandomPlan(int64(seed))
 		rel := levels[seed%len(levels)]
 		t.Run(strconv.Itoa(seed)+"-"+rel.String(), func(t *testing.T) {
-			sys := NewSystem(provider.CLAN(), 2, int64(seed)+1)
-			sys.InstallFaults(plan)
-			sys.EnableSpans(1)
-			base := byte(seed * 7)
-
-			sys.Go(0, "chaos-client", func(ctx *Ctx) {
-				nic := ctx.OpenNic()
-				nic.SetErrorCallback(func(*Ctx, ErrorEvent) {})
-				vi, err := nic.CreateVi(ctx, ViAttributes{Reliability: rel}, nil, nil)
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				// Faults may eat the handshake; that is a valid outcome,
-				// not a failure.
-				if err := vi.ConnectRequest(ctx, 1, "chaos", 100*sim.Millisecond); err != nil {
-					return
-				}
-				buf := ctx.Malloc(size)
-				h, err := nic.RegisterMem(ctx, buf)
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				for i := 0; i < msgs; i++ {
-					// The buffer is reused, so each message waits for its
-					// completion before the next refill (retransmissions
-					// resend the NIC's own payload snapshot, so completed
-					// buffers are free to reuse).
-					buf.FillPattern(base + byte(i))
-					if err := vi.PostSend(ctx, SimpleSend(buf, h, size)); err != nil {
-						return // connection broke: acceptable
-					}
-					d, err := vi.SendWait(ctx, sim.Second)
-					if err != nil || d.Status != StatusSuccess {
-						return // broken or stuck: acceptable, but stops cleanly
-					}
-				}
-			})
-
-			sys.Go(1, "chaos-server", func(ctx *Ctx) {
-				nic := ctx.OpenNic()
-				nic.SetErrorCallback(func(*Ctx, ErrorEvent) {})
-				vi, err := nic.CreateVi(ctx, ViAttributes{Reliability: rel}, nil, nil)
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				bufs := make(map[*Descriptor]*vmem.Buffer, msgs)
-				for i := 0; i < msgs; i++ {
-					b := ctx.Malloc(size)
-					h, err := nic.RegisterMem(ctx, b)
-					if err != nil {
-						t.Error(err)
-						return
-					}
-					d := SimpleRecv(b, h, size)
-					bufs[d] = b
-					if err := vi.PostRecv(ctx, d); err != nil {
-						t.Error(err)
-						return
-					}
-				}
-				req, err := nic.ConnectWait(ctx, "chaos", 100*sim.Millisecond)
-				if err != nil {
-					return // handshake eaten by the plan
-				}
-				if err := req.Accept(ctx, vi); err != nil {
-					return
-				}
-				delivered := 0
-				for i := 0; i < msgs; i++ {
-					d, err := vi.RecvWait(ctx, 200*sim.Millisecond)
-					if err != nil {
-						break // lost tail (timeout) or empty flushed queue
-					}
-					if d.Status != StatusSuccess {
-						continue // flushed descriptors carry no data
-					}
-					if d.Length != size {
-						t.Errorf("delivery %d: length %d, want %d", i, d.Length, size)
-						continue
-					}
-					b := bufs[d]
-					if b == nil {
-						t.Errorf("delivery %d: unknown descriptor", i)
-						continue
-					}
-					// Recover which message this is from its first pattern
-					// byte, then verify the whole payload.
-					idx := int(b.Bytes()[0] - base)
-					if idx < 0 || idx >= msgs {
-						t.Errorf("delivery %d: unknown pattern seed %#x", i, b.Bytes()[0])
-						continue
-					}
-					if err := b.CheckPattern(base+byte(idx), size); err != nil {
-						t.Errorf("delivery %d corrupted: %v", i, err)
-					}
-					if rel.Reliable() && idx != delivered {
-						t.Errorf("reliable delivery %d out of order: got message %d, want %d", i, idx, delivered)
-					}
-					delivered++
-				}
-			})
-
-			if err := sys.Run(); err != nil {
-				t.Fatalf("plan %d (%s) did not terminate cleanly: %v", seed, rel, err)
-			}
-			// Span accounting must survive whatever the plan did: no
-			// double-closes ever, and no more closes than opens. (Workloads
-			// here bail out without disconnecting when faults break the
-			// connection, so still-queued descriptors legitimately hold
-			// open spans — see TestSpanIntegrityUnderFaults for the
-			// balanced-teardown variant.)
-			opened, closed, doubles := sys.SpanStats()
-			if doubles != 0 {
-				t.Errorf("plan %d (%s): %d double-closed spans", seed, rel, doubles)
-			}
-			if closed > opened {
-				t.Errorf("plan %d (%s): closed %d spans but opened only %d", seed, rel, closed, opened)
-			}
+			runChaosCase(t, provider.CLAN(), plan, seed, rel)
 		})
+	}
+}
+
+// TestChaosSoakRouted runs the same soak over the routed multi-switch
+// topologies with finite buffers, drawing topology-aware plans that add
+// switch-down and inter-switch-link-down outages to the legacy fault
+// kinds. One host per switch makes every packet multi-hop, so drops,
+// outages and reroutes all land mid-route — the paths the credit-leak
+// audit exists for.
+func TestChaosSoakRouted(t *testing.T) {
+	topos := []string{"fattree", "dragonfly", "torus3d"}
+	levels := []ReliabilityLevel{Unreliable, ReliableDelivery, ReliableReception}
+	for seed := 0; seed < chaosPlans(); seed++ {
+		topo := topos[seed%len(topos)]
+		rel := levels[seed%len(levels)]
+		m := provider.CLAN()
+		m.Network.Topology = topo
+		m.Network.TopologyDegree = 1
+		m.Network.SwitchBufPkts = 2
+		switches := fabric.BuildTopology(m.Network, 2).Switches()
+		plan := fault.RandomTopoPlan(int64(seed), 2, switches)
+		t.Run(strconv.Itoa(seed)+"-"+topo+"-"+rel.String(), func(t *testing.T) {
+			runChaosCase(t, m, plan, seed, rel)
+		})
+	}
+}
+
+// TestRoutedFaultConservation pins the credit-leak audit per fault kind:
+// for every kind the plan schema knows — packet, element and stall — a
+// deterministic plan runs over each routed topology (one host per
+// switch, 2-packet buffers) and the fabric must conserve packets
+// (delivered = sent - dropped + duplicated, checked inside runChaosCase)
+// with zero leaked switch buffer credits. Element-outage kinds must
+// actually bite: the run has to record unroutable drops, proving the
+// conservation claim covers the reroute/no-path machinery and not an
+// inert plan.
+func TestRoutedFaultConservation(t *testing.T) {
+	n5 := uint64(5)
+	f4, t8 := uint64(4), uint64(8)
+	for _, topo := range []string{"fattree", "dragonfly", "torus3d"} {
+		// Elements every 0<->1 route crosses (see elementOutagePlan).
+		sw, link := 1, []int{0, 1}
+		if topo == "fattree" {
+			sw, link = 2, []int{0, 2}
+		}
+		cases := []struct {
+			name           string
+			spec           fault.Spec
+			wantUnroutable bool
+		}{
+			{fault.KindDropNth, fault.Spec{Kind: fault.KindDropNth, Nth: &n5}, false},
+			{fault.KindDropRange, fault.Spec{Kind: fault.KindDropRange, From: &f4, To: &t8}, false},
+			{fault.KindDrop, fault.Spec{Kind: fault.KindDrop, Prob: 0.2, Count: 100}, false},
+			{fault.KindCorrupt, fault.Spec{Kind: fault.KindCorrupt, Prob: 0.2, Count: 100}, false},
+			{fault.KindDuplicate, fault.Spec{Kind: fault.KindDuplicate, Prob: 0.2, Count: 100}, false},
+			{fault.KindDelay, fault.Spec{Kind: fault.KindDelay, Prob: 0.3, Delay: "40us", Count: 100}, false},
+			{fault.KindJitter, fault.Spec{Kind: fault.KindJitter, Prob: 0.3, Delay: "80us", Count: 100}, false},
+			{fault.KindLinkDown, fault.Spec{Kind: fault.KindLinkDown, Start: "2ms", End: "3ms"}, false},
+			{fault.KindSwitchDown, fault.Spec{Kind: fault.KindSwitchDown, Switch: &sw, Start: "2ms", End: "3ms"}, true},
+			{fault.KindSwitchLinkDown, fault.Spec{Kind: fault.KindSwitchLinkDown, Link: link, Start: "2ms", End: "3ms"}, true},
+			{fault.KindDoorbellStall, fault.Spec{Kind: fault.KindDoorbellStall, Prob: 0.2, Delay: "30us", Count: 100}, false},
+			{fault.KindDMAStall, fault.Spec{Kind: fault.KindDMAStall, Prob: 0.2, Delay: "20us", Count: 100}, false},
+		}
+		for ci, tc := range cases {
+			tc := tc
+			t.Run(topo+"/"+tc.name, func(t *testing.T) {
+				m := provider.CLAN()
+				m.Network.Topology = topo
+				m.Network.TopologyDegree = 1
+				m.Network.SwitchBufPkts = 2
+				plan := &fault.Plan{Seed: int64(ci), Faults: []fault.Spec{tc.spec}}
+				sys := runChaosCase(t, m, plan, ci, ReliableDelivery)
+				if tc.wantUnroutable && sys.Net.Unroutable == 0 {
+					t.Errorf("%s plan recorded no unroutable drops — the outage never bit", tc.name)
+				}
+			})
+		}
 	}
 }

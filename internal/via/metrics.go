@@ -145,6 +145,8 @@ func (s *System) CollectMetrics() metrics.Snapshot {
 	r.Add("fabric.propagation_ns", float64(s.Net.PropTime))
 	r.AddUint("fabric.credit_stalls", s.Net.CreditStalls())
 	r.Gauge("fabric.max_switch_queue", float64(s.Net.MaxQueueDepth()))
+	r.AddUint("fabric.rerouted", s.Net.Rerouted)
+	r.AddUint("fabric.unroutable", s.Net.Unroutable)
 
 	// Fault-plan application counts by kind, when a plan is installed.
 	if s.faults != nil {

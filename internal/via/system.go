@@ -90,6 +90,13 @@ func (s *System) InstallFaults(p *fault.Plan) {
 	inj := p.NewInjector()
 	s.faults = inj
 	s.Net.AddInjector(inj)
+	if inj.HasElementFaults() {
+		// Switch/link outages hook route selection: the fabric steers each
+		// packet around dead elements (or drops it when no candidate path
+		// survives). Installed only when the plan declares one, so routing
+		// for every other plan stays on the exact pre-multipath path.
+		s.Net.SetElementOracle(inj)
+	}
 	for _, h := range s.hosts {
 		h.nic.faults = inj
 	}
