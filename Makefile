@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos failover-smoke check cover bench bench-smoke bench-sim quick clean
+.PHONY: all build vet test race chaos failover-smoke vibed-smoke check cover bench bench-smoke bench-sim quick clean
 
 all: check
 
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/metrics/... ./internal/trace/...
+	$(GO) test -race ./internal/runner/... ./internal/metrics/... ./internal/trace/... ./internal/serve/...
 
 # Seeded chaos soak: run CHAOS_PLANS random fault plans against the VIA
 # stack under the race detector — the crossbar soak (TestChaosSoak) plus
@@ -46,6 +46,18 @@ failover-smoke: build
 	  -compare internal/results/testdata/baseline-xfailover-quick.json -tol 0 \
 	  > artifacts/xfailover_report.txt
 	tail -n 30 artifacts/xfailover_report.txt
+
+# Daemon smoke: boot the vibed service on a random port, submit the full
+# quick registry over HTTP, follow the SSE stream to completion, scrape
+# /metrics (daemon gauges plus the span histogram families), download the
+# result set and diff it against the committed quick baseline at -tol 0,
+# then resubmit identically and require a byte-identical cache hit. The
+# daemon binary is built first so a cmd/vibed compile break fails here
+# too; artifacts land in artifacts/ for CI upload.
+vibed-smoke: build
+	mkdir -p artifacts
+	VIBED_SMOKE_ARTIFACTS=$(CURDIR)/artifacts \
+	  $(GO) test -run TestVibedSmoke -count=1 -v ./internal/serve/
 
 check: vet build test race
 

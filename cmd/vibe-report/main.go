@@ -74,6 +74,7 @@ func main() {
 		baseLabel    = flag.String("bench-baseline-label", "", "label describing the -bench-baseline-ms revision")
 		benchGate    = flag.String("bench-gate", "", "with -bench: fail if the dispatch speedup regresses >20% vs this committed bench report")
 		metricsOn    = flag.Bool("metrics", false, "print per-component simulation counters and embed them in -json output")
+		metricsOut   = flag.String("metrics-out", "", "write the final merged metrics snapshot as key-sorted JSON (implies metric collection)")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto); forces -parallel 1")
 		spanSample   = flag.Int("span-sample", 1, "with -metrics/-trace-out, record every Nth message's lifecycle span (1 = every message, 0 = disable)")
 		profileOut   = flag.String("profile-out", "", "write a folded-stack virtual-time profile (flamegraph input) across all experiments")
@@ -119,11 +120,12 @@ func main() {
 		rec = &trace.Recorder{Limit: 1 << 20}
 		*parallel = 1
 	}
+	collectMetrics := *metricsOn || *metricsOut != ""
 	collectors := make([]*metrics.Collector, len(scs))
-	if *metricsOn || rec != nil {
+	if collectMetrics || rec != nil {
 		for i, sc := range scs {
 			in := &core.Instr{Trace: rec, SpanSample: *spanSample}
-			if *metricsOn {
+			if collectMetrics {
 				in.Metrics = metrics.NewCollector()
 				collectors[i] = in.Metrics
 			}
@@ -236,7 +238,7 @@ func main() {
 			set.Experiments = append(set.Experiments, results.FromReport(e.ID, rep))
 		}
 
-		if c := collectors[si]; c != nil {
+		if c := collectors[si]; c != nil && *metricsOn {
 			fmt.Printf("--- metrics: %s (%d simulated systems) ---\n", scs[si].Label(), c.Systems())
 			c.Snapshot().Render(os.Stdout)
 			fmt.Println()
@@ -262,6 +264,20 @@ func main() {
 				exitCode = 2
 			}
 		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := metrics.MergedSnapshot(collectors...).WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 	if rec != nil {
 		f, err := os.Create(*traceOut)

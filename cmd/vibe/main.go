@@ -223,6 +223,8 @@ func main() {
 		quick        = flag.Bool("quick", false, "smaller sweeps for -bench suite")
 		params       = flag.Bool("params", false, "list the model parameter catalog (-set/-sweep names) and exit")
 		metricsOn    = flag.Bool("metrics", false, "print per-component simulation counters after the run")
+		metricsOut   = flag.String("metrics-out", "", "write the final merged metrics snapshot as key-sorted JSON (implies metric collection)")
+		progress     = flag.Bool("progress", false, "with -bench suite, print a per-cell progress line to stderr as cells complete")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto); forces -parallel 1")
 		spanSample   = flag.Int("span-sample", 1, "with -metrics/-trace-out, record every Nth message's lifecycle span (1 = every message, 0 = disable)")
 		profileOut   = flag.String("profile-out", "", "write a folded-stack virtual-time profile (flamegraph/pprof input)")
@@ -277,11 +279,12 @@ func main() {
 	if *profileOut != "" {
 		profile = prof.New()
 	}
+	collectMetrics := *metricsOn || *metricsOut != ""
 	collectors := make([]*metrics.Collector, len(scs))
-	if *metricsOn || rec != nil || profile != nil {
+	if collectMetrics || rec != nil || profile != nil {
 		for i, sc := range scs {
 			in := &core.Instr{Trace: rec, SpanSample: *spanSample}
-			if *metricsOn {
+			if collectMetrics {
 				in.Metrics = metrics.NewCollector()
 				collectors[i] = in.Metrics
 			}
@@ -290,11 +293,17 @@ func main() {
 	}
 	finishInstr := func() {
 		for i, c := range collectors {
-			if c == nil {
+			if c == nil || !*metricsOn {
 				continue
 			}
 			fmt.Printf("\n--- metrics: %s (%d simulated systems) ---\n", scs[i].Label(), c.Systems())
 			c.Snapshot().Render(os.Stdout)
+		}
+		if *metricsOut != "" {
+			if err := writeMetricsOut(*metricsOut, collectors); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("metrics written to %s\n", *metricsOut)
 		}
 		if rec != nil {
 			f, err := os.Create(*traceOut)
@@ -331,7 +340,7 @@ func main() {
 		if profile != nil {
 			exps = core.ProfiledExperiments(exps, profile)
 		}
-		err := runSuite(exps, scs, *parallel)
+		err := runSuite(exps, scs, *parallel, *progress)
 		finishInstr()
 		if err != nil {
 			fatal(err)
@@ -486,9 +495,23 @@ func flagWasSet(name string) bool {
 
 // runSuite executes the given experiments (times each scenario in the
 // grid) across the runner's worker pool, printing a one-line status per
-// cell in registry order.
-func runSuite(exps []*core.Experiment, scs []*core.Scenario, workers int) error {
-	grid := runner.RunGrid(exps, scs, runner.Options{Workers: workers})
+// cell in registry order. With progress enabled, a live per-cell line
+// goes to stderr as cells complete, in dispatch order.
+func runSuite(exps []*core.Experiment, scs []*core.Scenario, workers int, progress bool) error {
+	opt := runner.Options{Workers: workers}
+	if progress {
+		opt.Progress = func(ev runner.ProgressEvent) {
+			status := "ok"
+			switch {
+			case ev.Skipped:
+				status = "skipped"
+			case ev.Err != nil:
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-8s %-7s %s\n", ev.Done, ev.Total, ev.Experiment, status, ev.Scenario)
+		}
+	}
+	grid := runner.RunGrid(exps, scs, opt)
 	for si, row := range grid {
 		if len(scs) > 1 {
 			fmt.Printf("=== scenario: %s ===\n", scs[si].Label())
@@ -506,6 +529,20 @@ func runSuite(exps []*core.Experiment, scs []*core.Scenario, workers int) error 
 		}
 	}
 	return runner.FirstGridError(grid)
+}
+
+// writeMetricsOut writes the cross-scenario merged snapshot as key-sorted
+// JSON, the machine-readable sibling of the rendered -metrics tables.
+func writeMetricsOut(path string, collectors []*metrics.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.MergedSnapshot(collectors...).WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -615,6 +615,12 @@ func (nw *Network) Send(src, dst NodeID, size int, payload interface{}) sim.Time
 	d := nw.getDelivery()
 	d.Src, d.Dst, d.Size, d.Payload = src, dst, size, payload
 
+	// Tracing() guard: argument materialization must stay off the
+	// uninstrumented hot path, and emission never touches virtual time.
+	if nw.eng.Tracing() {
+		nw.eng.Tracef("link%d: tx dst=%d %dB", src, dst, size)
+	}
+
 	// Fault chain first: an injected drop models a deliberate outage and
 	// pre-empts the (rng-consuming) random loss check. Dropped packets
 	// still cost serialization time on the source link.
@@ -732,6 +738,12 @@ func (nw *Network) sendRouted(sp *port, d *Delivery, ser, delay sim.Duration, co
 			q.txPkts++
 			q.txBytes += uint64(d.Size)
 			nw.SerTime += ser
+			if nw.eng.Tracing() {
+				// The forward span covers the hop's serialization window
+				// [out-ser, out), placed on the switch's own track.
+				nw.eng.TraceSpanf(out.Add(-ser), ser, "switch%d: fwd dst=%d %dB hop=%d/%d",
+					route[i], d.Dst, d.Size, i+1, hops)
+			}
 			if heldQ != nil {
 				heldQ.release(heldSlot, out)
 			}
@@ -872,6 +884,9 @@ func (nw *Network) deliverNow(p *port, d *Delivery) {
 	nw.Delivered++
 	p.rxPkts++
 	p.rxBytes += uint64(d.Size)
+	if nw.eng.Tracing() {
+		nw.eng.Tracef("link%d: rx src=%d %dB", d.Dst, d.Src, d.Size)
+	}
 	if d.Corrupted {
 		p.rxCorrupt++
 	}

@@ -89,6 +89,13 @@ func (h *Hist) Mean() float64 {
 
 // Quantile estimates the q-th quantile (0 < q <= 1) by linear
 // interpolation inside the covering bucket, clamped to the exact maximum.
+//
+// NaN policy: a histogram never reports NaN. An empty histogram reports 0
+// for every quantile (and Mean/Max/Sum are 0), a single-sample histogram
+// reports that sample's bucket clamped to the exact max for every
+// quantile, and NaN observations were already clamped to 0 by Observe —
+// so flattened summary keys (Snapshot.Map) and rendered tables stay
+// finite and diffable.
 func (h *Hist) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// PromContentType is the Content-Type of the text exposition format this
+// file emits, for HTTP handlers serving a /metrics endpoint.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one family per key, prefixed and sanitized into
+// a legal metric name. Counters and gauges emit a single sample;
+// histograms expand into the conventional cumulative series —
+// <name>_bucket{le="..."} per occupied bucket plus the +Inf bucket,
+// <name>_sum and <name>_count — using the log-spaced layout's exact
+// bucket upper bounds as le values, so a scraper's quantile estimates
+// match Hist.Quantile's.
+//
+// The snapshot is key-sorted, so two writes of the same snapshot are
+// byte-identical. A key that sanitizes into an already-emitted name (two
+// keys differing only in punctuation) is skipped: exposition forbids
+// duplicate families, and key schemas never do this in practice.
+func (s Snapshot) WritePrometheus(w io.Writer, prefix string) error {
+	seen := make(map[string]bool, len(s))
+	for _, x := range s {
+		name := PromName(prefix, x.Key)
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		var err error
+		switch {
+		case x.Kind == Histogram && x.Hist != nil:
+			err = writePromHist(w, name, x.Key, x.Hist)
+		case x.Kind == Gauge:
+			_, err = fmt.Fprintf(w, "# HELP %s VIBe gauge %s\n# TYPE %s gauge\n%s %s\n",
+				name, x.Key, name, name, promValue(x.Value))
+		default:
+			_, err = fmt.Fprintf(w, "# HELP %s VIBe counter %s\n# TYPE %s counter\n%s %s\n",
+				name, x.Key, name, name, promValue(x.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHist(w io.Writer, name, key string, h *Hist) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s VIBe histogram %s (virtual-time ns)\n# TYPE %s histogram\n",
+		name, key, name); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := histBounds(i)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promValue(hi), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, h.count, name, promValue(h.sum), name, h.count)
+	return err
+}
+
+// PromName sanitizes a dot-separated metric key into a legal Prometheus
+// metric name under the given prefix: every byte outside [a-zA-Z0-9_] —
+// dots included — becomes '_'. With an empty prefix a leading digit gets
+// a '_' prepended so the name stays legal.
+func PromName(prefix, key string) string {
+	b := make([]byte, 0, len(prefix)+1+len(key))
+	if prefix != "" {
+		b = append(b, prefix...)
+		b = append(b, '_')
+	} else if len(key) > 0 && key[0] >= '0' && key[0] <= '9' {
+		b = append(b, '_')
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// promValue renders a sample value the way Prometheus parsers expect:
+// shortest exact float representation, no exponent surprises for whole
+// numbers.
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -85,17 +85,31 @@ func FromReport(id string, rep *core.Report) Experiment {
 	return e
 }
 
+// Encode renders the set into its canonical on-disk byte form, stamping
+// the format version and default suite name. Every producer — Save here,
+// the vibed daemon's downloadable artifacts — goes through this one
+// function, so a set served over HTTP is byte-identical to the same set
+// written by the CLI.
+func Encode(s *Set) ([]byte, error) {
+	e := *s // stamp a copy: encoding a set must not mutate shared state
+	e.Version = FormatVersion
+	if e.Suite == "" {
+		e.Suite = "vibe"
+	}
+	data, err := json.MarshalIndent(&e, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
 // Save writes the set as indented JSON.
 func Save(path string, s *Set) error {
-	s.Version = FormatVersion
-	if s.Suite == "" {
-		s.Suite = "vibe"
-	}
-	data, err := json.MarshalIndent(s, "", "  ")
+	data, err := Encode(s)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return os.WriteFile(path, data, 0o644)
 }
 
 // Load reads a result set, rejecting unknown schema versions.

@@ -1,0 +1,82 @@
+package results
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+	"sync"
+)
+
+// CacheKey derives the provenance hash identifying one submission's design
+// point: the quick flag (ProvenanceOf treats quick-only scenarios as
+// default, so it must be named here explicitly), the experiment list, and
+// each scenario cell's provenance (nil meaning the unmodified default).
+// The hash is over canonical JSON — encoding/json emits struct fields in
+// declaration order and map keys sorted — so two submissions describing
+// the same design point always hash identically, regardless of the order
+// overrides were specified in.
+func CacheKey(quick bool, experiments []string, scenarios ...*Provenance) string {
+	exps := append([]string(nil), experiments...)
+	sort.Strings(exps)
+	data, err := json.Marshal(struct {
+		Quick       bool          `json:"quick"`
+		Experiments []string      `json:"experiments"`
+		Scenarios   []*Provenance `json:"scenarios"`
+	}{quick, exps, scenarios})
+	if err != nil {
+		// The inputs are plain strings, bools and string maps; Marshal
+		// cannot fail on them.
+		panic("results: CacheKey marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Store is a concurrency-safe cache of encoded result sets keyed by
+// provenance hash (CacheKey). It holds the canonical bytes (Encode), not
+// live *Set values, so a cache hit replays exactly what the original run
+// produced — byte-identical, with no aliasing into a caller's set.
+type Store struct {
+	mu sync.Mutex
+	m  map[string][][]byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{m: make(map[string][][]byte)}
+}
+
+// Put encodes the sets (one per scenario cell, in cell order) and stores
+// them under key, returning the encoded forms. A later Put under the same
+// key overwrites — deterministic runs make the value identical anyway.
+func (st *Store) Put(key string, sets ...*Set) ([][]byte, error) {
+	encs := make([][]byte, len(sets))
+	for i, s := range sets {
+		data, err := Encode(s)
+		if err != nil {
+			return nil, err
+		}
+		encs[i] = data
+	}
+	st.mu.Lock()
+	st.m[key] = encs
+	st.mu.Unlock()
+	return encs, nil
+}
+
+// Get returns the encoded result sets stored under key, or ok=false.
+// The returned slices are shared — callers must not mutate them.
+func (st *Store) Get(key string) ([][]byte, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	encs, ok := st.m[key]
+	return encs, ok
+}
+
+// Len reports the number of cached keys.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}

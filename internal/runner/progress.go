@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"sync"
+	"time"
+)
+
+// ProgressEvent describes one finished experiment cell. Events are
+// delivered in dispatch order (cell 0, 1, 2, ...), which for a grid is
+// scenario-major, experiment-minor — the same order results are
+// assembled — so a progress stream is deterministic even though cells
+// complete out of order on the worker pool.
+type ProgressEvent struct {
+	Experiment string        // experiment id
+	Scenario   string        // scenario label the cell ran under
+	Cell       int           // flat dispatch index across the whole grid
+	Index      int           // experiment index within the scenario row
+	Done       int           // cells delivered so far, including this one
+	Total      int           // cells in the whole run
+	Skipped    bool          // abandoned after an earlier cell's failure
+	Err        error         // the cell's error, nil on success or skip
+	Wall       time.Duration // host wall-clock time the cell took
+}
+
+// progressEmitter serializes completion notifications back into dispatch
+// order: completions arrive from any worker, are buffered until every
+// earlier cell has reported, and the callback fires strictly by cell
+// index. The callback runs under the emitter's lock on whichever worker
+// (or the dispatch goroutine, for skipped cells) unblocked the sequence,
+// so it must be fast and need not be reentrant.
+type progressEmitter struct {
+	mu      sync.Mutex
+	fn      func(ProgressEvent)
+	next    int
+	total   int
+	pending map[int]ProgressEvent
+}
+
+func newProgressEmitter(fn func(ProgressEvent), total int) *progressEmitter {
+	if fn == nil {
+		return nil
+	}
+	return &progressEmitter{fn: fn, total: total, pending: make(map[int]ProgressEvent)}
+}
+
+// complete records one cell's outcome. A nil emitter (no callback
+// installed) is a no-op, so the hot path costs one nil check when
+// progress is unused.
+func (p *progressEmitter) complete(ev ProgressEvent) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pending[ev.Cell] = ev
+	for {
+		next, ok := p.pending[p.next]
+		if !ok {
+			return
+		}
+		delete(p.pending, p.next)
+		p.next++
+		next.Done = p.next
+		next.Total = p.total
+		p.fn(next)
+	}
+}
+
+// progressOf converts a cell result into its progress event (Done/Total
+// are stamped by the emitter at delivery time). Skipped cells carry the
+// internal sentinel in Result.Err; the event reports them as Skipped with
+// a nil Err, so stream consumers never see the sentinel.
+func progressOf(cell int, r *Result) ProgressEvent {
+	ev := ProgressEvent{
+		Experiment: r.ID,
+		Scenario:   r.Scenario,
+		Cell:       cell,
+		Index:      r.Index,
+		Skipped:    r.Skipped(),
+		Wall:       r.Wall,
+	}
+	if !ev.Skipped {
+		ev.Err = r.Err
+	}
+	return ev
+}

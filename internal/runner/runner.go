@@ -53,6 +53,14 @@ type Options struct {
 	// unmodified default scenario at Quick. Ignored by RunGrid, which
 	// takes its scenarios explicitly.
 	Scenario *core.Scenario
+
+	// Progress, when set, receives one event per cell, delivered in
+	// dispatch order (cell 0, 1, 2, ...) regardless of completion order:
+	// out-of-order completions are buffered until every earlier cell has
+	// reported. Callbacks run serially under an internal lock on whichever
+	// goroutine unblocked the sequence, so they must be fast; nil costs
+	// nothing.
+	Progress func(ProgressEvent)
 }
 
 func (o Options) workers(cells int) int {
@@ -98,6 +106,7 @@ func RunGrid(exps []*core.Experiment, scs []*core.Scenario, opt Options) [][]Res
 		return grid
 	}
 	var failed atomic.Bool
+	prog := newProgressEmitter(opt.Progress, cells)
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < opt.workers(cells); w++ {
@@ -107,6 +116,7 @@ func RunGrid(exps []*core.Experiment, scs []*core.Scenario, opt Options) [][]Res
 			for c := range idx {
 				si, ei := c/len(exps), c%len(exps)
 				grid[si][ei] = runCell(ei, exps[ei], scs[si], &failed)
+				prog.complete(progressOf(c, &grid[si][ei]))
 			}
 		}()
 	}
@@ -119,6 +129,7 @@ func RunGrid(exps []*core.Experiment, scs []*core.Scenario, opt Options) [][]Res
 		si, ei := c/len(exps), c%len(exps)
 		if failed.Load() {
 			grid[si][ei] = Result{Index: ei, ID: exps[ei].ID, Scenario: scs[si].Label(), Err: errSkipped}
+			prog.complete(progressOf(c, &grid[si][ei]))
 			continue
 		}
 		idx <- c

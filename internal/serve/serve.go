@@ -1,0 +1,381 @@
+// Package serve implements vibed, the long-lived VIBe benchmark service:
+// scenario/sweep submissions become jobs on a bounded queue, scheduled
+// one at a time onto the shared runner pool, with live per-cell progress
+// over SSE, a Prometheus /metrics endpoint, downloadable artifacts, and a
+// provenance-keyed cache that replays completed result sets byte for
+// byte. The daemon reuses the CLIs' exact pipeline — ExpandSweeps,
+// CompileScenarios, RunGrid, results.Encode — so a set downloaded from a
+// job is byte-identical to the same scenario run with vibe-report.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"vibe/internal/core"
+	"vibe/internal/metrics"
+	"vibe/internal/prof"
+	"vibe/internal/provider"
+	"vibe/internal/results"
+	"vibe/internal/runner"
+	"vibe/internal/trace"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the runner pool width per job (default: 4).
+	Workers int
+	// QueueCap bounds the number of queued-but-not-started jobs
+	// (default: 16). A full queue rejects submissions with 503.
+	QueueCap int
+}
+
+// Server owns the job table, the bounded queue, the result cache, and the
+// daemon counters. Create with New, serve Handler(), and run the
+// dispatcher with Run (usually in a goroutine); Close drains it.
+type Server struct {
+	workers  int
+	queueCap int
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string          // submission order, for listings
+	byCache  map[string]string // cache key -> completed job id
+	nextID   int
+	queued   int
+	running  int
+	done     int
+	failed   int
+	cacheHit int
+	submits  int
+
+	queue chan *Job
+	store *results.Store
+	stop  chan struct{}
+	idle  sync.WaitGroup
+}
+
+// New builds a server; Run must be started for jobs to execute.
+func New(opt Options) *Server {
+	if opt.Workers <= 0 {
+		opt.Workers = 4
+	}
+	if opt.QueueCap <= 0 {
+		opt.QueueCap = 16
+	}
+	return &Server{
+		workers:  opt.Workers,
+		queueCap: opt.QueueCap,
+		jobs:     map[string]*Job{},
+		byCache:  map[string]string{},
+		queue:    make(chan *Job, opt.QueueCap),
+		store:    results.NewStore(),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Run is the dispatcher loop: jobs execute strictly in submission order,
+// one at a time — each job already fans its cells across the worker pool,
+// and serial execution keeps every job's virtual-time determinism and the
+// cache's byte-identity trivially intact.
+func (s *Server) Run() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.idle.Add(1)
+			s.execute(j)
+			s.idle.Done()
+		}
+	}
+}
+
+// Close stops the dispatcher after the in-flight job (if any) finishes.
+// Queued jobs are left in state queued.
+func (s *Server) Close() {
+	close(s.stop)
+	s.idle.Wait()
+}
+
+// Submit validates and enqueues a submission, compiling its scenario grid
+// up front so a bad spec fails at submit time with 400 semantics, not
+// inside the run. A submission whose cache key matches a completed job
+// returns a new job that is already done, sharing the original's
+// artifacts and result bytes.
+func (s *Server) Submit(req Submission) (*Job, error) {
+	spec := req.Scenario
+	if len(req.Set) > 0 {
+		kv, err := provider.ParseSet(setPairs(req.Set))
+		if err != nil {
+			return nil, err
+		}
+		if spec.Set == nil {
+			spec.Set = map[string]string{}
+		}
+		for k, v := range kv {
+			spec.Set[k] = v
+		}
+	}
+	specs, err := core.ExpandSweeps(spec, req.Sweeps)
+	if err != nil {
+		return nil, err
+	}
+	scs, err := core.CompileScenarios(specs, req.Quick)
+	if err != nil {
+		return nil, err
+	}
+	exps := core.Experiments()
+	if len(req.Experiments) > 0 {
+		exps = exps[:0:0]
+		for _, id := range req.Experiments {
+			e, err := core.ExperimentByID(strings.ToUpper(id))
+			if err != nil {
+				return nil, err
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	key := cacheKeyFor(req, scs, exps)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.submits++
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%d", s.nextID), req)
+	j.CacheKey = key
+	j.Cells = len(exps) * len(scs)
+	j.exps = exps
+	j.scs = scs
+
+	if srcID, ok := s.byCache[key]; ok {
+		src := s.jobs[srcID]
+		j.Cached = true
+		s.cacheHit++
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		j.append(Event{Type: EventCached})
+		j.shareArtifacts(src)
+		j.setStatus(StatusDone, "")
+		s.done++
+		return j, nil
+	}
+
+	select {
+	case s.queue <- j:
+	default:
+		return nil, errQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.queued++
+	j.append(Event{Type: EventQueued})
+	return j, nil
+}
+
+var errQueueFull = fmt.Errorf("serve: job queue full")
+
+// execute runs one job end to end on the pool.
+func (s *Server) execute(j *Job) {
+	s.mu.Lock()
+	s.queued--
+	s.running++
+	s.mu.Unlock()
+	j.setStatus(StatusRunning, "")
+	j.append(Event{Type: EventStart, Total: j.Cells})
+
+	workers := s.workers
+	var rec *trace.Recorder
+	if j.Req.Trace {
+		rec = &trace.Recorder{Limit: 1 << 20}
+		workers = 1 // the recorder is single-writer, like -trace-out
+	}
+	var profile *prof.Profile
+	exps := j.exps
+	if j.Req.Profile {
+		profile = prof.New()
+		exps = core.ProfiledExperiments(exps, profile)
+	}
+	j.collectors = make([]*metrics.Collector, len(j.scs))
+	for i, sc := range j.scs {
+		j.collectors[i] = metrics.NewCollector()
+		sc.Instr = &core.Instr{Metrics: j.collectors[i], Trace: rec, SpanSample: 1}
+	}
+
+	grid := runner.RunGrid(exps, j.scs, runner.Options{
+		Workers: workers,
+		Progress: func(ev runner.ProgressEvent) {
+			j.append(progressEvent(ev))
+		},
+	})
+
+	if err := runner.FirstGridError(grid); err != nil {
+		s.finish(j, StatusFailed, err.Error())
+		return
+	}
+
+	// Assemble per-cell result sets exactly the way vibe-report does, and
+	// encode them through results.Encode so the artifact bytes match a CLI
+	// -json file for the same scenario.
+	sets := make([]*results.Set, len(j.scs))
+	for si := range j.scs {
+		set := &results.Set{Label: j.Req.Label, Scenario: results.ProvenanceOf(j.scs[si])}
+		set.Metrics = j.collectors[si].Snapshot().Map()
+		for ei, e := range j.exps {
+			set.Experiments = append(set.Experiments, results.FromReport(e.ID, grid[si][ei].Report))
+		}
+		sets[si] = set
+	}
+	encs, err := s.store.Put(j.CacheKey, sets...)
+	if err != nil {
+		s.finish(j, StatusFailed, err.Error())
+		return
+	}
+	for i, enc := range encs {
+		j.putArtifact(cellName(i, len(encs)), enc)
+	}
+
+	var mtxt bytes.Buffer
+	for si, c := range j.collectors {
+		fmt.Fprintf(&mtxt, "--- metrics: %s (%d simulated systems) ---\n", j.scs[si].Label(), c.Systems())
+		c.Snapshot().Render(&mtxt)
+	}
+	j.putArtifact("metrics.txt", mtxt.Bytes())
+
+	if rec != nil {
+		var b bytes.Buffer
+		if err := rec.WriteChrome(&b); err != nil {
+			s.finish(j, StatusFailed, err.Error())
+			return
+		}
+		j.putArtifact("trace.json", b.Bytes())
+	}
+	if profile != nil {
+		var b bytes.Buffer
+		if err := profile.WriteFolded(&b); err != nil {
+			s.finish(j, StatusFailed, err.Error())
+			return
+		}
+		j.putArtifact("profile.folded", b.Bytes())
+	}
+
+	s.mu.Lock()
+	s.byCache[j.CacheKey] = j.ID
+	s.mu.Unlock()
+	s.finish(j, StatusDone, "")
+}
+
+// finish moves a running job to its terminal state. The terminal event is
+// appended BEFORE the status flips: an SSE streamer closes once it has
+// replayed all history of a terminal job, so the done/failed frame must
+// already be in the history when the status becomes observable.
+func (s *Server) finish(j *Job, st JobStatus, errMsg string) {
+	s.mu.Lock()
+	s.running--
+	if st == StatusDone {
+		s.done++
+	} else {
+		s.failed++
+	}
+	s.mu.Unlock()
+	if st == StatusDone {
+		j.append(Event{Type: EventDone, Done: j.Cells, Total: j.Cells})
+	} else {
+		j.append(Event{Type: EventFailed, Error: errMsg})
+	}
+	j.setStatus(st, errMsg)
+}
+
+// job looks up a job by id.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// listJobs returns jobs in submission order.
+func (s *Server) listJobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// daemonSnapshot builds the daemon-level gauge family served on /metrics:
+// job lifecycle counts, queue occupancy and capacity, and the pool width.
+// A fresh single-threaded registry per scrape keeps Registry's
+// no-locking contract while the daemon counters live under s.mu.
+func (s *Server) daemonSnapshot() metrics.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := metrics.New()
+	r.Add("jobs.submitted", float64(s.submits))
+	r.Add("jobs.cache_hits", float64(s.cacheHit))
+	r.Gauge("jobs.queued", float64(s.queued))
+	r.Gauge("jobs.running", float64(s.running))
+	r.Gauge("jobs.done", float64(s.done))
+	r.Gauge("jobs.failed", float64(s.failed))
+	r.Gauge("queue.capacity", float64(s.queueCap))
+	r.Gauge("pool.workers", float64(s.workers))
+	r.Gauge("cache.entries", float64(s.store.Len()))
+	return r.Snapshot()
+}
+
+// simSnapshot merges every job's collectors — running jobs included, the
+// Collector is mutex-guarded — into the simulation-metrics families
+// served on /metrics. Cached jobs hold no collectors, so a replay never
+// double-counts its source run.
+func (s *Server) simSnapshot() metrics.Snapshot {
+	s.mu.Lock()
+	var cols []*metrics.Collector
+	for _, id := range s.order {
+		cols = append(cols, s.jobs[id].collectors...)
+	}
+	s.mu.Unlock()
+	return metrics.MergedSnapshot(cols...)
+}
+
+// cacheKeyFor derives the job's cache key: the results-layer provenance
+// hash (quick, experiment list, per-cell provenance) extended with the
+// submission fields that alter artifact bytes — label and the
+// trace/profile switches — so a hit always replays exactly what an
+// identical submission would produce.
+func cacheKeyFor(req Submission, scs []*core.Scenario, exps []*core.Experiment) string {
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	provs := make([]*results.Provenance, len(scs))
+	for i, sc := range scs {
+		provs[i] = results.ProvenanceOf(sc)
+	}
+	base := results.CacheKey(req.Quick, ids, provs...)
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|label=%s|trace=%t|profile=%t",
+		base, req.Label, req.Trace, req.Profile)))
+	return hex.EncodeToString(sum[:])
+}
+
+// setPairs renders a -set style map back into k=v pairs for ParseSet, in
+// sorted order so validation errors are deterministic.
+func setPairs(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]string, len(keys))
+	for i, k := range keys {
+		pairs[i] = k + "=" + m[k]
+	}
+	return pairs
+}

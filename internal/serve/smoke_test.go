@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vibe/internal/results"
+)
+
+// TestVibedSmoke is the end-to-end daemon gate `make vibed-smoke` runs:
+// boot the service on a random port, submit the full quick registry over
+// HTTP, scrape /metrics mid-run (must already be valid exposition), follow
+// the SSE stream to completion, scrape /metrics again (job/queue gauges
+// plus span histogram families), download the result set and compare it
+// against the committed quick baseline at -tol 0, then resubmit the
+// identical job and require a cache hit with byte-identical artifacts.
+// With VIBED_SMOKE_ARTIFACTS set, the downloaded artifacts are exported
+// there for CI upload.
+func TestVibedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry smoke; run via make vibed-smoke")
+	}
+	s := startServer(t, Options{Workers: 4})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	submit := func() (id string, cells int, cached bool) {
+		resp, err := http.Post(hs.URL+"/api/jobs", "application/json",
+			strings.NewReader(`{"quick": true, "label": "vibed-smoke"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("submit -> %d: %s", resp.StatusCode, body)
+		}
+		var job struct {
+			ID     string `json:"id"`
+			Cells  int    `json:"cells"`
+			Cached bool   `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		return job.ID, job.Cells, job.Cached
+	}
+
+	id, cells, cached := submit()
+	if cached {
+		t.Fatal("first submission claimed a cache hit")
+	}
+	if cells < 30 {
+		t.Fatalf("full registry should be >=30 cells, got %d", cells)
+	}
+
+	// Mid-run scrape: the endpoint must serve valid exposition while the
+	// job executes (the daemon gauges at minimum; sim families as cells
+	// land).
+	validatePrometheus(t, scrape(t, hs.URL+"/metrics"))
+
+	// Follow the SSE stream to completion, counting cell frames.
+	resp, err := http.Get(hs.URL + "/api/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellFrames, done := 0, false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", data, err)
+		}
+		switch ev.Type {
+		case EventCell:
+			cellFrames++
+			if ev.Done != cellFrames || ev.Total != cells {
+				t.Fatalf("cell frame out of order: done %d/%d, want %d/%d",
+					ev.Done, ev.Total, cellFrames, cells)
+			}
+		case EventDone:
+			done = true
+		case EventFailed:
+			t.Fatalf("job failed: %s", ev.Error)
+		}
+	}
+	resp.Body.Close()
+	if !done || cellFrames != cells {
+		t.Fatalf("stream ended with done=%v after %d/%d cell frames", done, cellFrames, cells)
+	}
+
+	// Post-run scrape: daemon gauges plus at least one span histogram.
+	prom := scrape(t, hs.URL+"/metrics")
+	validatePrometheus(t, prom)
+	for _, want := range []string{
+		"vibed_jobs_submitted 1",
+		"vibed_jobs_done 1",
+		"vibed_jobs_running 0",
+		"vibed_jobs_queued 0",
+		"# TYPE vibe_span_", // at least one span family present
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("post-run /metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(prom, "histogram") {
+		t.Error("post-run /metrics has no histogram family")
+	}
+
+	// Download the result set and compare against the committed quick
+	// baseline at tolerance zero: the simulation is deterministic, so the
+	// daemon must reproduce the baseline's numbers exactly.
+	res1 := download(t, hs.URL, id, "results.json")
+	var cur results.Set
+	if err := json.Unmarshal(res1, &cur); err != nil {
+		t.Fatal(err)
+	}
+	base, err := results.Load(filepath.Join("..", "results", "testdata", "baseline-quick.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := results.CompareChecked(base, &cur, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) > 0 {
+		var b bytes.Buffer
+		results.Render(&b, diffs, 0)
+		t.Fatalf("daemon result diverges from committed baseline:\n%s", b.String())
+	}
+
+	// Identical resubmission: served from cache, byte-identical bytes.
+	id2, _, cached2 := submit()
+	if !cached2 {
+		t.Fatal("identical resubmission was not served from cache")
+	}
+	res2 := download(t, hs.URL, id2, "results.json")
+	if !bytes.Equal(res1, res2) {
+		t.Fatal("cached result bytes differ from the original download")
+	}
+
+	if dir := os.Getenv("VIBED_SMOKE_ARTIFACTS"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range map[string][]byte{
+			"vibed_results.json": res1,
+			"vibed_metrics.txt":  download(t, hs.URL, id, "metrics.txt"),
+			"vibed_prom.txt":     []byte(prom),
+		} {
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("scrape -> %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func download(t *testing.T, base, id, name string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/api/jobs/" + id + "/artifacts/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("artifact %s -> %d", name, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// validatePrometheus checks every line of an exposition document: comment
+// lines are HELP/TYPE with known types, sample lines are "name[{le=...}]
+// value" with a parseable value.
+func validatePrometheus(t *testing.T, doc string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimSuffix(doc, "\n"), "\n") {
+		switch {
+		case line == "":
+			t.Fatal("blank line in exposition")
+		case strings.HasPrefix(line, "# HELP "):
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if len(f) != 4 || (f[3] != "counter" && f[3] != "gauge" && f[3] != "histogram") {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unknown comment line %q", line)
+		default:
+			sp := strings.LastIndexByte(line, ' ')
+			if sp < 0 {
+				t.Fatalf("sample line without value: %q", line)
+			}
+			if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+				t.Fatalf("unparseable sample value in %q", line)
+			}
+		}
+	}
+}

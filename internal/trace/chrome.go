@@ -27,7 +27,7 @@ type chromeFile struct {
 // order a message actually flows through the system — so Perfetto sorts
 // the thread tracks top-to-bottom the way the reader thinks about the
 // data path, instead of by hash order.
-var componentOrder = []string{"cpu", "via", "span", "nic", "link", "fabric"}
+var componentOrder = []string{"cpu", "via", "span", "nic", "link", "switch", "fabric"}
 
 // componentRank maps a component name ("nic0", "fabric", "span1") to a
 // sort index: pipeline position first, instance number second. Unknown

@@ -158,10 +158,10 @@ func TestWriteChromeSpans(t *testing.T) {
 }
 
 // TestComponentRank checks pipeline ordering: cpu before via before span
-// before nic before link before fabric, instances in numeric order, and
-// unknown components after everything.
+// before nic before link before switch before fabric, instances in
+// numeric order, and unknown components after everything.
 func TestComponentRank(t *testing.T) {
-	order := []string{"cpu0", "cpu1", "via0", "span0", "nic0", "nic1", "nic10", "link3", "fabric", "sim", "mystery"}
+	order := []string{"cpu0", "cpu1", "via0", "span0", "nic0", "nic1", "nic10", "link3", "switch0", "switch2", "fabric", "sim", "mystery"}
 	for i := 1; i < len(order); i++ {
 		a, b := componentRank(order[i-1]), componentRank(order[i])
 		if a > b {

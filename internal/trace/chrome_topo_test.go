@@ -1,0 +1,120 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vibe/internal/core"
+	"vibe/internal/trace"
+)
+
+// TestChromeExportRoutedTopology runs the XFAILOVER experiment (routed
+// fat-tree with outages) at quick scale under a trace recorder and
+// validates the Chrome export end to end: the document must carry span,
+// link, and switch thread tracks (the switch tracks only exist on routed
+// topologies), every named track must carry a thread_sort_index, and every
+// process a process_sort_index, so Perfetto renders the pipeline in flow
+// order.
+func TestChromeExportRoutedTopology(t *testing.T) {
+	exp, err := core.ExperimentByID("XFAILOVER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &trace.Recorder{Limit: 1 << 20}
+	sc := core.DefaultScenario(true)
+	sc.Instr = &core.Instr{Trace: rec, SpanSample: 1}
+	if _, err := exp.Run(sc); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("routed run recorded no trace entries")
+	}
+
+	var b bytes.Buffer
+	if err := rec.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Pid  int                    `json:"pid"`
+			Tid  int                    `json:"tid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+
+	type track struct{ pid, tid int }
+	named := map[track]string{}    // thread_name metadata
+	sorted := map[track]bool{}     // thread_sort_index metadata
+	pidSorted := map[int]bool{}    // process_sort_index metadata
+	compTracks := map[string]int{} // component prefix -> track count
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" {
+			continue
+		}
+		switch e.Name {
+		case "thread_name":
+			name, _ := e.Args["name"].(string)
+			named[track{e.Pid, e.Tid}] = name
+			for _, prefix := range []string{"span", "link", "switch", "nic"} {
+				if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+					compTracks[prefix]++
+				}
+			}
+		case "thread_sort_index":
+			if _, ok := e.Args["sort_index"]; !ok {
+				t.Fatalf("thread_sort_index without a sort_index: %+v", e)
+			}
+			sorted[track{e.Pid, e.Tid}] = true
+		case "process_sort_index":
+			if _, ok := e.Args["sort_index"]; !ok {
+				t.Fatalf("process_sort_index without a sort_index: %+v", e)
+			}
+			pidSorted[e.Pid] = true
+		}
+	}
+
+	for _, prefix := range []string{"span", "link", "switch", "nic"} {
+		if compTracks[prefix] == 0 {
+			t.Errorf("no %s* thread track in the routed-topology export", prefix)
+		}
+	}
+	for tr, name := range named {
+		if !sorted[tr] {
+			t.Errorf("track %q (pid %d tid %d) missing thread_sort_index", name, tr.pid, tr.tid)
+		}
+		if !pidSorted[tr.pid] {
+			t.Errorf("pid %d missing process_sort_index", tr.pid)
+		}
+	}
+
+	// Real events must land on the component tracks, not just metadata:
+	// at least one switch-forward span ("X") and one link instant ("i").
+	byKind := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" && e.Ph != "i" {
+			continue
+		}
+		name := named[track{e.Pid, e.Tid}]
+		for _, prefix := range []string{"span", "link", "switch"} {
+			if strings.HasPrefix(name, prefix) {
+				byKind[prefix+":"+e.Ph]++
+			}
+		}
+	}
+	if byKind["switch:X"] == 0 {
+		t.Error("no switch forward spans recorded")
+	}
+	if byKind["link:i"] == 0 {
+		t.Error("no link tx/rx instants recorded")
+	}
+	if byKind["span:X"] == 0 {
+		t.Error("no message lifecycle spans recorded")
+	}
+}
