@@ -57,7 +57,11 @@ type Server struct {
 	queue chan *Job
 	store *results.Store
 	stop  chan struct{}
-	idle  sync.WaitGroup
+	// inflight is held by Run for its entire lifetime, so Close can wait
+	// for the dispatcher — including any in-flight execute — by acquiring
+	// it. If Run was never started the lock is free and Close returns
+	// immediately.
+	inflight sync.Mutex
 }
 
 // New builds a server; Run must be started for jobs to execute.
@@ -84,14 +88,22 @@ func New(opt Options) *Server {
 // and serial execution keeps every job's virtual-time determinism and the
 // cache's byte-identity trivially intact.
 func (s *Server) Run() {
+	s.inflight.Lock()
+	defer s.inflight.Unlock()
 	for {
+		// Check stop with priority: once Close has been called, no further
+		// queued jobs may start even if the queue is non-empty (a bare
+		// select picks pseudo-randomly among ready channels).
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
 		select {
 		case <-s.stop:
 			return
 		case j := <-s.queue:
-			s.idle.Add(1)
 			s.execute(j)
-			s.idle.Done()
 		}
 	}
 }
@@ -100,7 +112,8 @@ func (s *Server) Run() {
 // Queued jobs are left in state queued.
 func (s *Server) Close() {
 	close(s.stop)
-	s.idle.Wait()
+	s.inflight.Lock() // blocks until Run returns
+	s.inflight.Unlock()
 }
 
 // Submit validates and enqueues a submission, compiling its scenario grid
@@ -146,6 +159,16 @@ func (s *Server) Submit(req Submission) (*Job, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// Reject a full queue before minting an ID or counting the submission,
+	// so vibed_jobs_submitted counts accepted jobs only and job IDs stay
+	// dense. Only Submit sends (under s.mu) and the dispatcher only
+	// drains, so len < cap here guarantees the send below cannot block.
+	srcID, hit := s.byCache[key]
+	if !hit && len(s.queue) == cap(s.queue) {
+		return nil, errQueueFull
+	}
+
 	s.submits++
 	s.nextID++
 	j := newJob(fmt.Sprintf("job-%d", s.nextID), req)
@@ -154,7 +177,7 @@ func (s *Server) Submit(req Submission) (*Job, error) {
 	j.exps = exps
 	j.scs = scs
 
-	if srcID, ok := s.byCache[key]; ok {
+	if hit {
 		src := s.jobs[srcID]
 		j.Cached = true
 		s.cacheHit++
@@ -167,11 +190,16 @@ func (s *Server) Submit(req Submission) (*Job, error) {
 		return j, nil
 	}
 
-	select {
-	case s.queue <- j:
-	default:
-		return nil, errQueueFull
+	// Allocate the per-scenario collectors before the job is published:
+	// simSnapshot reads j.collectors under s.mu only and execute reads it
+	// with no lock, so the field must never mutate once the job is
+	// visible. A queued job's empty collectors merge as nothing.
+	j.collectors = make([]*metrics.Collector, len(scs))
+	for i := range scs {
+		j.collectors[i] = metrics.NewCollector()
 	}
+
+	s.queue <- j
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.queued++
@@ -202,9 +230,7 @@ func (s *Server) execute(j *Job) {
 		profile = prof.New()
 		exps = core.ProfiledExperiments(exps, profile)
 	}
-	j.collectors = make([]*metrics.Collector, len(j.scs))
 	for i, sc := range j.scs {
-		j.collectors[i] = metrics.NewCollector()
 		sc.Instr = &core.Instr{Metrics: j.collectors[i], Trace: rec, SpanSample: 1}
 	}
 
@@ -331,10 +357,11 @@ func (s *Server) daemonSnapshot() metrics.Snapshot {
 	return r.Snapshot()
 }
 
-// simSnapshot merges every job's collectors — running jobs included, the
-// Collector is mutex-guarded — into the simulation-metrics families
-// served on /metrics. Cached jobs hold no collectors, so a replay never
-// double-counts its source run.
+// simSnapshot merges every job's collectors — running jobs included: the
+// collectors field is immutable once a job is published (set at submit
+// time under s.mu) and each Collector is internally mutex-guarded — into
+// the simulation-metrics families served on /metrics. Cached jobs hold no
+// collectors, so a replay never double-counts its source run.
 func (s *Server) simSnapshot() metrics.Snapshot {
 	s.mu.Lock()
 	var cols []*metrics.Collector

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -70,6 +71,46 @@ func TestQueueBound(t *testing.T) {
 	}
 	if _, err := s.Submit(sub2(sub, "overflow")); err != errQueueFull {
 		t.Fatalf("overflow submit err = %v, want errQueueFull", err)
+	}
+	// A rejected submission is not counted and mints no job ID: the
+	// submitted counter tracks accepted jobs only and IDs stay dense.
+	s.mu.Lock()
+	submits, nextID := s.submits, s.nextID
+	s.mu.Unlock()
+	if submits != 2 || nextID != 2 {
+		t.Errorf("after rejection: submits=%d nextID=%d, want 2 and 2", submits, nextID)
+	}
+}
+
+// TestMetricsScrapeDuringRun hammers the metrics snapshot paths while a
+// job executes. Under -race this pins the contract that j.collectors is
+// allocated at submit time and never written once the job is published.
+func TestMetricsScrapeDuringRun(t *testing.T) {
+	s := startServer(t, Options{Workers: 2})
+	j, err := s.Submit(Submission{Quick: true, Experiments: []string{"XFAILOVER"}, Label: "scrape-race"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.simSnapshot()
+				s.daemonSnapshot()
+			}
+		}
+	}()
+	st := waitJob(t, j)
+	close(stop)
+	wg.Wait()
+	if st != StatusDone {
+		t.Fatalf("job status = %s (%s)", st, j.Error)
 	}
 }
 

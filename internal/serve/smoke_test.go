@@ -23,11 +23,14 @@ import (
 // plus span histogram families), download the result set and compare it
 // against the committed quick baseline at -tol 0, then resubmit the
 // identical job and require a cache hit with byte-identical artifacts.
-// With VIBED_SMOKE_ARTIFACTS set, the downloaded artifacts are exported
-// there for CI upload.
+// The test only runs when VIBED_SMOKE_ARTIFACTS names an output directory
+// for the downloaded artifacts (make vibed-smoke sets it); otherwise it
+// skips, so the plain test and race targets don't duplicate the dedicated
+// smoke job.
 func TestVibedSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-registry smoke; run via make vibed-smoke")
+	artifactDir := os.Getenv("VIBED_SMOKE_ARTIFACTS")
+	if artifactDir == "" {
+		t.Skip("full-registry daemon smoke; run via make vibed-smoke (or set VIBED_SMOKE_ARTIFACTS)")
 	}
 	s := startServer(t, Options{Workers: 4})
 	hs := httptest.NewServer(s.Handler())
@@ -152,18 +155,16 @@ func TestVibedSmoke(t *testing.T) {
 		t.Fatal("cached result bytes differ from the original download")
 	}
 
-	if dir := os.Getenv("VIBED_SMOKE_ARTIFACTS"); dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.MkdirAll(artifactDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"vibed_results.json": res1,
+		"vibed_metrics.txt":  download(t, hs.URL, id, "metrics.txt"),
+		"vibed_prom.txt":     []byte(prom),
+	} {
+		if err := os.WriteFile(filepath.Join(artifactDir, name), data, 0o644); err != nil {
 			t.Fatal(err)
-		}
-		for name, data := range map[string][]byte{
-			"vibed_results.json": res1,
-			"vibed_metrics.txt":  download(t, hs.URL, id, "metrics.txt"),
-			"vibed_prom.txt":     []byte(prom),
-		} {
-			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
-				t.Fatal(err)
-			}
 		}
 	}
 }
